@@ -1,0 +1,53 @@
+//! Ablations over the paper's §2.2 / §6 enhancement list: faster DDR behind
+//! the FPGA, more DDR channels, and upgraded controller headroom.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use numa::AffinityPolicy;
+use std::hint::black_box;
+use stream_bench::{Kernel, SimulatedStream, StreamConfig};
+
+fn saturated_cxl_bandwidth(runtime: &CxlPmemRuntime) -> f64 {
+    let stream = SimulatedStream::new(runtime, StreamConfig::paper());
+    let placement = runtime
+        .place(&AffinityPolicy::close(), 20)
+        .expect("placement");
+    stream
+        .simulate(Kernel::Triad, &placement, 2, AccessMode::MemoryMode)
+        .expect("simulation")
+        .bandwidth_gbs
+}
+
+fn ablation(c: &mut Criterion) {
+    let variants: Vec<(&str, CxlPmemRuntime)> = vec![
+        ("baseline_ddr4_1333_x1", CxlPmemRuntime::setup1()),
+        (
+            "ddr4_3200_x1",
+            CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 1), None),
+        ),
+        (
+            "ddr4_3200_x4",
+            CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 4), None),
+        ),
+        (
+            "ddr5_5600_x4",
+            CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4), None),
+        ),
+    ];
+    println!("Ablation: saturated CXL Memory-Mode Triad bandwidth (GB/s)");
+    for (name, runtime) in &variants {
+        println!("  {name:<24} {:.1}", saturated_cxl_bandwidth(runtime));
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, runtime) in &variants {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(saturated_cxl_bandwidth(runtime)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

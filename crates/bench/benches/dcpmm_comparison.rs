@@ -1,0 +1,40 @@
+//! The headline comparison (§1.4 / §5): CXL-DDR4 vs published Optane DCPMM
+//! bandwidth and vs local DDR4/DDR5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use numa::AffinityPolicy;
+use std::hint::black_box;
+use stream_bench::{Kernel, SimulatedStream, StreamConfig};
+use streamer::headline_table;
+
+fn dcpmm_comparison(c: &mut Criterion) {
+    println!("{}", headline_table().expect("headline table").to_markdown());
+
+    let cxl_runtime = CxlPmemRuntime::setup1();
+    let dcpmm_runtime = CxlPmemRuntime::dcpmm_baseline();
+    let mut group = c.benchmark_group("dcpmm_comparison");
+    group.sample_size(10);
+    for (name, runtime) in [("cxl_ddr4", &cxl_runtime), ("dcpmm", &dcpmm_runtime)] {
+        group.bench_function(format!("{name}_triad_10t"), |b| {
+            let stream = SimulatedStream::new(runtime, StreamConfig::paper());
+            let placement = runtime
+                .place(&AffinityPolicy::SingleSocket(0), 10)
+                .expect("placement");
+            b.iter(|| {
+                black_box(
+                    stream
+                        .simulate(Kernel::Triad, &placement, 2, AccessMode::AppDirect)
+                        .expect("simulation"),
+                )
+            })
+        });
+    }
+    group.bench_function("headline_table", |b| {
+        b.iter(|| black_box(headline_table().expect("headline table")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dcpmm_comparison);
+criterion_main!(benches);

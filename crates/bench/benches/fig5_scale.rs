@@ -1,0 +1,23 @@
+//! Figure 5: SCALE bandwidth vs thread count for test groups 1.(a)–2.(b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repro_bench::{generate_subfigure, print_figure};
+use std::hint::black_box;
+use stream_bench::Kernel;
+use streamer::groups::TestGroup;
+
+fn fig5_scale(c: &mut Criterion) {
+    // Print the full figure data once so the bench log carries the series.
+    print_figure(Kernel::Scale);
+    let mut group = c.benchmark_group("fig5_scale");
+    group.sample_size(10);
+    for test_group in TestGroup::ALL {
+        group.bench_function(format!("5{}", test_group.subfigure()), |b| {
+            b.iter(|| black_box(generate_subfigure(Kernel::Scale, test_group)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5_scale);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 6: ADD bandwidth vs thread count for test groups 1.(a)–2.(b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repro_bench::{generate_subfigure, print_figure};
+use std::hint::black_box;
+use stream_bench::Kernel;
+use streamer::groups::TestGroup;
+
+fn fig6_add(c: &mut Criterion) {
+    print_figure(Kernel::Add);
+    let mut group = c.benchmark_group("fig6_add");
+    group.sample_size(10);
+    for test_group in TestGroup::ALL {
+        group.bench_function(format!("6{}", test_group.subfigure()), |b| {
+            b.iter(|| black_box(generate_subfigure(Kernel::Add, test_group)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_add);
+criterion_main!(benches);

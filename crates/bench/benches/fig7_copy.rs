@@ -1,0 +1,22 @@
+//! Figure 7: COPY bandwidth vs thread count for test groups 1.(a)–2.(b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repro_bench::{generate_subfigure, print_figure};
+use std::hint::black_box;
+use stream_bench::Kernel;
+use streamer::groups::TestGroup;
+
+fn fig7_copy(c: &mut Criterion) {
+    print_figure(Kernel::Copy);
+    let mut group = c.benchmark_group("fig7_copy");
+    group.sample_size(10);
+    for test_group in TestGroup::ALL {
+        group.bench_function(format!("7{}", test_group.subfigure()), |b| {
+            b.iter(|| black_box(generate_subfigure(Kernel::Copy, test_group)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7_copy);
+criterion_main!(benches);

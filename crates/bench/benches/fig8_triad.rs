@@ -1,0 +1,22 @@
+//! Figure 8: TRIAD bandwidth vs thread count for test groups 1.(a)–2.(b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use repro_bench::{generate_subfigure, print_figure};
+use std::hint::black_box;
+use stream_bench::Kernel;
+use streamer::groups::TestGroup;
+
+fn fig8_triad(c: &mut Criterion) {
+    print_figure(Kernel::Triad);
+    let mut group = c.benchmark_group("fig8_triad");
+    group.sample_size(10);
+    for test_group in TestGroup::ALL {
+        group.bench_function(format!("8{}", test_group.subfigure()), |b| {
+            b.iter(|| black_box(generate_subfigure(Kernel::Triad, test_group)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8_triad);
+criterion_main!(benches);

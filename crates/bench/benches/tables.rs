@@ -1,0 +1,23 @@
+//! Tables 1 and 2: measured PMem-mode properties and the CXL-vs-NVRAM
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_pmem::CxlPmemRuntime;
+use std::hint::black_box;
+use streamer::{table1, table2};
+
+fn tables(c: &mut Criterion) {
+    let runtime = CxlPmemRuntime::setup1();
+    println!("{}", table1(&runtime).expect("table 1").to_markdown());
+    println!("{}", table2().expect("table 2").to_markdown());
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(table1(&runtime).expect("table 1")))
+    });
+    group.bench_function("table2", |b| b.iter(|| black_box(table2().expect("table 2"))));
+    group.finish();
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

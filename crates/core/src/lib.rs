@@ -1,0 +1,44 @@
+//! `cxl-pmem` — CXL memory as Persistent Memory for disaggregated HPC.
+//!
+//! This crate is the paper's contribution packaged as a library: a runtime
+//! that provisions PMDK-style persistent pools **on CXL-attached memory** and
+//! exposes the two usage modes the paper evaluates:
+//!
+//! * **App-Direct** — the pool is accessed directly and transactionally
+//!   (`pmem` crate), exactly like a `libpmemobj` pool on Optane DCPMM; the
+//!   PMDK software overhead is carried into the performance model.
+//! * **Memory Mode** — the CXL device is used as plain CC-NUMA memory
+//!   expansion (`numactl --membind` style), with no persistence guarantees.
+//!
+//! The runtime also owns the machine model (`memsim`), the CXL device model
+//! (`cxl`) and the placement/affinity machinery (`numa`), so a caller can ask
+//! one object both "store these bytes durably on the expander" and "how long
+//! would this STREAM kernel take on setup #1 with 8 threads bound close?".
+//!
+//! Entry points:
+//!
+//! * [`runtime::CxlPmemRuntime`] — construct with [`runtime::CxlPmemRuntime::setup1`]
+//!   (the paper's Sapphire Rapids + CXL machine), `setup2` (Xeon Gold DDR4) or
+//!   `dcpmm_baseline` (the published-Optane comparison machine).
+//! * [`backend::CxlDeviceBackend`] — a `pmem::PoolBackend` storing pool bytes
+//!   on a `cxl::Type3Device`, i.e. the pool really lives on the (modelled)
+//!   expander.
+//! * [`modes::AccessMode`] — App-Direct vs Memory-Mode and their properties
+//!   (the paper's Table 1).
+//! * [`placement`] — tier selection and Memory-Mode capacity expansion.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod modes;
+pub mod placement;
+pub mod runtime;
+
+pub use backend::CxlDeviceBackend;
+pub use modes::{AccessMode, ModeProperties};
+pub use placement::{ExpansionPlan, TierPolicy};
+pub use runtime::{CxlPmemRuntime, ManagedPool, RuntimeError, SetupKind};
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,193 @@
+//! Data placement across memory tiers.
+//!
+//! Two placement questions matter to the paper's use cases:
+//!
+//! 1. **Which tier does a pool live on?** — local DDR5 (`/mnt/pmem0`), the
+//!    remote socket's DDR5 (`/mnt/pmem1`), or the CXL expander (`/mnt/pmem2`).
+//!    [`TierPolicy`] captures that decision.
+//! 2. **How does a Memory-Mode data set that exceeds local DRAM spread across
+//!    tiers?** — the classic memory-expansion use case. [`ExpansionPlan`]
+//!    splits a byte count over the nodes in preference order.
+
+use memsim::Machine;
+use memsim::SimError;
+use numa::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Which NUMA node a pool or allocation should be placed on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierPolicy {
+    /// The node local to the calling socket.
+    LocalDram {
+        /// Socket whose local node is used.
+        socket: usize,
+    },
+    /// The other socket's DRAM (one UPI hop) — the paper's "emulated PMem".
+    RemoteDram {
+        /// Socket whose local node is used (accessed from the other one).
+        socket: usize,
+    },
+    /// An explicit NUMA node (e.g. the CXL expander's CPU-less node).
+    Node(NodeId),
+    /// The first CPU-less (memory-only) node of the machine — the CXL expander.
+    CxlExpander,
+}
+
+impl TierPolicy {
+    /// Resolves the policy to a concrete NUMA node on `machine`.
+    pub fn resolve(&self, machine: &Machine) -> Result<NodeId, SimError> {
+        let topo = machine.topology();
+        match self {
+            TierPolicy::LocalDram { socket } => Ok(topo
+                .socket(*socket)
+                .map_err(SimError::from)?
+                .local_node),
+            TierPolicy::RemoteDram { socket } => {
+                // The local node of any *other* socket.
+                let other = topo
+                    .sockets()
+                    .iter()
+                    .find(|s| s.id != *socket)
+                    .ok_or(SimError::UnknownNode(usize::MAX))?;
+                Ok(other.local_node)
+            }
+            TierPolicy::Node(node) => {
+                topo.node(*node).map_err(SimError::from)?;
+                Ok(*node)
+            }
+            TierPolicy::CxlExpander => topo
+                .memory_only_nodes()
+                .next()
+                .map(|n| n.id)
+                .ok_or(SimError::UnknownNode(usize::MAX)),
+        }
+    }
+
+    /// The paper's mount-point style label (`/mnt/pmemN`).
+    pub fn mount_label(&self, machine: &Machine) -> String {
+        match self.resolve(machine) {
+            Ok(node) => format!("/mnt/pmem{node}"),
+            Err(_) => "/mnt/pmem?".to_string(),
+        }
+    }
+}
+
+/// How a Memory-Mode data set is distributed across tiers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpansionPlan {
+    /// `(node, bytes)` in placement order.
+    pub parts: Vec<(NodeId, u64)>,
+}
+
+impl ExpansionPlan {
+    /// Splits `bytes` over `preference` (in order), never exceeding each
+    /// node's capacity. Fails if the total capacity is insufficient.
+    pub fn spill(machine: &Machine, bytes: u64, preference: &[NodeId]) -> Result<Self, SimError> {
+        let mut remaining = bytes;
+        let mut parts = Vec::new();
+        for &node in preference {
+            if remaining == 0 {
+                break;
+            }
+            let capacity = machine
+                .topology()
+                .node(node)
+                .map_err(SimError::from)?
+                .mem_bytes;
+            let take = remaining.min(capacity);
+            if take > 0 {
+                parts.push((node, take));
+                remaining -= take;
+            }
+        }
+        if remaining > 0 {
+            return Err(SimError::CapacityExceeded {
+                node: preference.last().copied().unwrap_or_default(),
+                requested: bytes,
+                available: bytes - remaining,
+            });
+        }
+        Ok(ExpansionPlan { parts })
+    }
+
+    /// Total bytes placed.
+    pub fn total_bytes(&self) -> u64 {
+        self.parts.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Fraction of the data set that landed on `node`.
+    pub fn fraction_on(&self, node: NodeId) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.parts
+            .iter()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, b)| *b as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::machines::{sapphire_rapids_cxl_machine, xeon_gold_ddr4_machine};
+    use memsim::units::GIB;
+
+    #[test]
+    fn tier_policies_resolve_to_paper_nodes() {
+        let m = sapphire_rapids_cxl_machine();
+        assert_eq!(TierPolicy::LocalDram { socket: 0 }.resolve(&m).unwrap(), 0);
+        assert_eq!(TierPolicy::LocalDram { socket: 1 }.resolve(&m).unwrap(), 1);
+        assert_eq!(TierPolicy::RemoteDram { socket: 0 }.resolve(&m).unwrap(), 1);
+        assert_eq!(TierPolicy::RemoteDram { socket: 1 }.resolve(&m).unwrap(), 0);
+        assert_eq!(TierPolicy::CxlExpander.resolve(&m).unwrap(), 2);
+        assert_eq!(TierPolicy::Node(1).resolve(&m).unwrap(), 1);
+        assert!(TierPolicy::Node(9).resolve(&m).is_err());
+        assert_eq!(TierPolicy::CxlExpander.mount_label(&m), "/mnt/pmem2");
+    }
+
+    #[test]
+    fn no_expander_means_no_cxl_tier() {
+        let m = xeon_gold_ddr4_machine();
+        assert!(TierPolicy::CxlExpander.resolve(&m).is_err());
+        assert_eq!(TierPolicy::CxlExpander.mount_label(&m), "/mnt/pmem?");
+    }
+
+    #[test]
+    fn expansion_spills_to_the_expander() {
+        let m = sapphire_rapids_cxl_machine();
+        // 70 GiB: 64 on the local DIMM, 6 spill onto the CXL node.
+        let plan = ExpansionPlan::spill(&m, 70 * GIB, &[0, 2]).unwrap();
+        assert_eq!(plan.parts.len(), 2);
+        assert_eq!(plan.parts[0], (0, 64 * GIB));
+        assert_eq!(plan.parts[1], (2, 6 * GIB));
+        assert_eq!(plan.total_bytes(), 70 * GIB);
+        assert!((plan.fraction_on(2) - 6.0 / 70.0).abs() < 1e-9);
+        assert_eq!(plan.fraction_on(1), 0.0);
+    }
+
+    #[test]
+    fn small_datasets_stay_local() {
+        let m = sapphire_rapids_cxl_machine();
+        let plan = ExpansionPlan::spill(&m, GIB, &[0, 2]).unwrap();
+        assert_eq!(plan.parts, vec![(0, GIB)]);
+    }
+
+    #[test]
+    fn overcommit_is_rejected() {
+        let m = sapphire_rapids_cxl_machine();
+        let err = ExpansionPlan::spill(&m, 1000 * GIB, &[0, 2]).unwrap_err();
+        assert!(matches!(err, SimError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn empty_plan_fraction_is_zero() {
+        let m = sapphire_rapids_cxl_machine();
+        let plan = ExpansionPlan::spill(&m, 0, &[0]).unwrap();
+        assert_eq!(plan.total_bytes(), 0);
+        assert_eq!(plan.fraction_on(0), 0.0);
+    }
+}

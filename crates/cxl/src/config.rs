@@ -1,0 +1,165 @@
+//! CXL specification revisions, device types and link configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// CXL specification revision a device or link complies with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CxlSpec {
+    /// CXL 1.1 — point-to-point device attachment below a root port.
+    V1_1,
+    /// CXL 2.0 — adds switches, memory pooling, persistent-memory support.
+    V2_0,
+    /// CXL 3.0 — PCIe 6.0 PHY, fabrics, enhanced sharing.
+    V3_0,
+}
+
+impl CxlSpec {
+    /// The PCIe generation the revision runs on.
+    pub fn pcie_generation(&self) -> u8 {
+        match self {
+            CxlSpec::V1_1 | CxlSpec::V2_0 => 5,
+            CxlSpec::V3_0 => 6,
+        }
+    }
+
+    /// Transfer rate per lane in GT/s (§1.3 of the paper: 32 GT/s for 1.1/2.0,
+    /// 64 GT/s for 3.0).
+    pub fn transfer_rate_gts(&self) -> f64 {
+        match self {
+            CxlSpec::V1_1 | CxlSpec::V2_0 => 32.0,
+            CxlSpec::V3_0 => 64.0,
+        }
+    }
+
+    /// Whether switches (and therefore pooling) are defined by this revision.
+    pub fn supports_switching(&self) -> bool {
+        *self >= CxlSpec::V2_0
+    }
+
+    /// Whether multi-level fabrics are defined.
+    pub fn supports_fabrics(&self) -> bool {
+        *self >= CxlSpec::V3_0
+    }
+
+    /// Whether the Global Persistent Flush (GPF) flow is defined — the
+    /// mechanism that makes "CXL memory as PMem" an architected capability
+    /// rather than only a battery-backed arrangement.
+    pub fn supports_global_persistent_flush(&self) -> bool {
+        *self >= CxlSpec::V2_0
+    }
+}
+
+/// CXL device types defined by the specification (§1.3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CxlDeviceType {
+    /// Type 1: caching device without device-attached memory (CXL.io + CXL.cache).
+    Type1,
+    /// Type 2: accelerator with device-attached memory (all three protocols).
+    Type2,
+    /// Type 3: memory expander (CXL.io + CXL.mem) — the paper's prototype.
+    Type3,
+}
+
+impl CxlDeviceType {
+    /// Whether the device type carries the CXL.cache protocol.
+    pub fn uses_cache_protocol(&self) -> bool {
+        matches!(self, CxlDeviceType::Type1 | CxlDeviceType::Type2)
+    }
+
+    /// Whether the device type carries the CXL.mem protocol.
+    pub fn uses_mem_protocol(&self) -> bool {
+        matches!(self, CxlDeviceType::Type2 | CxlDeviceType::Type3)
+    }
+
+    /// Whether the device type exposes host-managed device memory (HDM).
+    pub fn has_hdm(&self) -> bool {
+        self.uses_mem_protocol()
+    }
+}
+
+/// Physical link configuration of a CXL port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Specification revision negotiated on the link.
+    pub spec: CxlSpec,
+    /// Number of PCIe lanes (x4, x8, x16).
+    pub lanes: u8,
+    /// Flit efficiency: fraction of raw link bandwidth available to payload
+    /// after protocol framing (68-byte flits on Gen5, ~0.92 typical).
+    pub flit_efficiency: f64,
+}
+
+impl LinkConfig {
+    /// The paper's link: CXL 1.1/2.0 over PCIe Gen5 x16.
+    pub fn gen5_x16() -> Self {
+        LinkConfig {
+            spec: CxlSpec::V2_0,
+            lanes: 16,
+            flit_efficiency: 0.92,
+        }
+    }
+
+    /// A CXL 3.0 link over PCIe Gen6 x16 (used by forward-looking ablations).
+    pub fn gen6_x16() -> Self {
+        LinkConfig {
+            spec: CxlSpec::V3_0,
+            lanes: 16,
+            flit_efficiency: 0.94,
+        }
+    }
+
+    /// Raw unidirectional bandwidth in GB/s: `GT/s × lanes / 8` (PCIe encoding
+    /// overhead is negligible at Gen5+ thanks to 128b/130b and FLIT modes).
+    pub fn raw_bandwidth_gbs(&self) -> f64 {
+        self.spec.transfer_rate_gts() * self.lanes as f64 / 8.0
+    }
+
+    /// Payload bandwidth after flit framing (GB/s).
+    pub fn effective_bandwidth_gbs(&self) -> f64 {
+        self.raw_bandwidth_gbs() * self.flit_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_capabilities_are_monotonic() {
+        assert!(!CxlSpec::V1_1.supports_switching());
+        assert!(CxlSpec::V2_0.supports_switching());
+        assert!(CxlSpec::V3_0.supports_switching());
+        assert!(!CxlSpec::V2_0.supports_fabrics());
+        assert!(CxlSpec::V3_0.supports_fabrics());
+        assert!(CxlSpec::V2_0.supports_global_persistent_flush());
+    }
+
+    #[test]
+    fn gen5_x16_matches_paper_numbers() {
+        // §1.3: "32 GT/s for transfers up to 64 GB/s in each direction via a
+        // 16-lane link".
+        let link = LinkConfig::gen5_x16();
+        assert!((link.raw_bandwidth_gbs() - 64.0).abs() < 1e-9);
+        assert!(link.effective_bandwidth_gbs() < 64.0);
+        assert_eq!(link.spec.pcie_generation(), 5);
+    }
+
+    #[test]
+    fn gen6_doubles_gen5() {
+        let g5 = LinkConfig::gen5_x16();
+        let g6 = LinkConfig::gen6_x16();
+        assert!((g6.raw_bandwidth_gbs() - 2.0 * g5.raw_bandwidth_gbs()).abs() < 1e-9);
+        assert_eq!(g6.spec.pcie_generation(), 6);
+    }
+
+    #[test]
+    fn type3_is_a_mem_device_without_cache_protocol() {
+        let t3 = CxlDeviceType::Type3;
+        assert!(t3.uses_mem_protocol());
+        assert!(t3.has_hdm());
+        assert!(!t3.uses_cache_protocol());
+        assert!(CxlDeviceType::Type1.uses_cache_protocol());
+        assert!(!CxlDeviceType::Type1.has_hdm());
+        assert!(CxlDeviceType::Type2.has_hdm());
+    }
+}

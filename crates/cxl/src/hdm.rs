@@ -1,0 +1,263 @@
+//! Host-managed Device Memory (HDM) decoders.
+//!
+//! An HDM decoder maps a contiguous range of host physical addresses (HPA)
+//! onto device-local physical addresses (DPA). CXL 2.0 allows several decoders
+//! per device and interleaving a single HPA range across multiple devices; the
+//! paper's prototype programs one decoder per NUMA-exposed region.
+
+use crate::error::CxlError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// One programmed HDM decoder range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HdmRange {
+    /// First host physical address covered.
+    pub hpa_base: u64,
+    /// Length of the window in bytes.
+    pub len: u64,
+    /// Device-local address the window starts at.
+    pub dpa_base: u64,
+    /// Interleave ways (1 = no interleave). With N ways, consecutive
+    /// `interleave_granularity` blocks rotate across N devices and this decoder
+    /// only owns every N-th block.
+    pub interleave_ways: u8,
+    /// Which of the interleave ways this device is (0-based).
+    pub interleave_position: u8,
+    /// Interleave granularity in bytes (256 B to 16 KiB per spec; 4 KiB here).
+    pub interleave_granularity: u64,
+}
+
+impl HdmRange {
+    /// A simple non-interleaved range.
+    pub fn linear(hpa_base: u64, len: u64, dpa_base: u64) -> Self {
+        HdmRange {
+            hpa_base,
+            len,
+            dpa_base,
+            interleave_ways: 1,
+            interleave_position: 0,
+            interleave_granularity: 4096,
+        }
+    }
+
+    /// Whether an HPA falls inside this window.
+    pub fn contains(&self, hpa: u64) -> bool {
+        hpa >= self.hpa_base && hpa < self.hpa_base + self.len
+    }
+
+    /// Translates an HPA to a DPA if this decoder (and interleave way) owns it.
+    pub fn translate(&self, hpa: u64) -> Option<u64> {
+        if !self.contains(hpa) {
+            return None;
+        }
+        let offset = hpa - self.hpa_base;
+        if self.interleave_ways <= 1 {
+            return Some(self.dpa_base + offset);
+        }
+        let ways = self.interleave_ways as u64;
+        let gran = self.interleave_granularity;
+        let block = offset / gran;
+        if (block % ways) as u8 != self.interleave_position {
+            return None;
+        }
+        // Device-local blocks are densely packed.
+        let local_block = block / ways;
+        Some(self.dpa_base + local_block * gran + offset % gran)
+    }
+
+    /// Bytes of the HPA window that this decoder actually backs (len / ways).
+    pub fn local_bytes(&self) -> u64 {
+        self.len / self.interleave_ways.max(1) as u64
+    }
+}
+
+/// A set of HDM decoders belonging to one device.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct HdmDecoder {
+    ranges: Vec<HdmRange>,
+}
+
+impl HdmDecoder {
+    /// Creates an empty decoder set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Programs an additional decoder range. Ranges must not overlap in HPA
+    /// space and must be cache-line aligned.
+    pub fn program(&mut self, range: HdmRange) -> Result<()> {
+        if range.len == 0 {
+            return Err(CxlError::InvalidHdmRange("zero-length range".to_string()));
+        }
+        if range.hpa_base % 64 != 0 || range.len % 64 != 0 {
+            return Err(CxlError::InvalidHdmRange(
+                "range must be 64-byte aligned".to_string(),
+            ));
+        }
+        if range.interleave_ways == 0 {
+            return Err(CxlError::InvalidHdmRange("zero interleave ways".to_string()));
+        }
+        if range.interleave_position >= range.interleave_ways {
+            return Err(CxlError::InvalidHdmRange(format!(
+                "interleave position {} out of {} ways",
+                range.interleave_position, range.interleave_ways
+            )));
+        }
+        for existing in &self.ranges {
+            let overlap = range.hpa_base < existing.hpa_base + existing.len
+                && existing.hpa_base < range.hpa_base + range.len;
+            if overlap {
+                return Err(CxlError::InvalidHdmRange(format!(
+                    "range at {:#x} overlaps existing range at {:#x}",
+                    range.hpa_base, existing.hpa_base
+                )));
+            }
+        }
+        self.ranges.push(range);
+        Ok(())
+    }
+
+    /// All programmed ranges.
+    pub fn ranges(&self) -> &[HdmRange] {
+        &self.ranges
+    }
+
+    /// Translates an HPA to a DPA.
+    pub fn translate(&self, hpa: u64) -> Result<u64> {
+        for range in &self.ranges {
+            if let Some(dpa) = range.translate(hpa) {
+                return Ok(dpa);
+            }
+        }
+        Err(CxlError::AddressNotMapped(hpa))
+    }
+
+    /// Total device-local bytes mapped by all decoders.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.ranges.iter().map(|r| r.local_bytes()).sum()
+    }
+
+    /// Removes every programmed range.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_translation_is_offset_preserving() {
+        let mut dec = HdmDecoder::new();
+        dec.program(HdmRange::linear(0x1_0000_0000, 1 << 30, 0)).unwrap();
+        assert_eq!(dec.translate(0x1_0000_0000).unwrap(), 0);
+        assert_eq!(dec.translate(0x1_0000_0040).unwrap(), 0x40);
+        assert!(dec.translate(0x0).is_err());
+        assert!(dec.translate(0x1_0000_0000 + (1 << 30)).is_err());
+    }
+
+    #[test]
+    fn zero_length_and_misaligned_ranges_are_rejected() {
+        let mut dec = HdmDecoder::new();
+        assert!(dec.program(HdmRange::linear(0, 0, 0)).is_err());
+        assert!(dec.program(HdmRange::linear(32, 128, 0)).is_err());
+        assert!(dec.program(HdmRange::linear(0, 100, 0)).is_err());
+    }
+
+    #[test]
+    fn overlapping_ranges_are_rejected() {
+        let mut dec = HdmDecoder::new();
+        dec.program(HdmRange::linear(0, 4096, 0)).unwrap();
+        assert!(dec.program(HdmRange::linear(2048, 4096, 0)).is_err());
+        // Adjacent is fine.
+        dec.program(HdmRange::linear(4096, 4096, 4096)).unwrap();
+        assert_eq!(dec.ranges().len(), 2);
+    }
+
+    #[test]
+    fn two_way_interleave_splits_blocks() {
+        let gran = 4096u64;
+        let make = |pos| HdmRange {
+            hpa_base: 0,
+            len: 8 * gran,
+            dpa_base: 0,
+            interleave_ways: 2,
+            interleave_position: pos,
+            interleave_granularity: gran,
+        };
+        let dev0 = make(0);
+        let dev1 = make(1);
+        // Block 0 belongs to device 0, block 1 to device 1, etc.
+        assert_eq!(dev0.translate(0), Some(0));
+        assert_eq!(dev1.translate(0), None);
+        assert_eq!(dev0.translate(gran), None);
+        assert_eq!(dev1.translate(gran), Some(0));
+        assert_eq!(dev0.translate(2 * gran), Some(gran));
+        assert_eq!(dev1.translate(3 * gran), Some(gran));
+        // Each device backs half the window.
+        assert_eq!(dev0.local_bytes(), 4 * gran);
+    }
+
+    #[test]
+    fn invalid_interleave_configs_rejected() {
+        let mut dec = HdmDecoder::new();
+        let mut r = HdmRange::linear(0, 4096, 0);
+        r.interleave_ways = 0;
+        assert!(dec.program(r).is_err());
+        let mut r = HdmRange::linear(0, 4096, 0);
+        r.interleave_ways = 2;
+        r.interleave_position = 2;
+        assert!(dec.program(r).is_err());
+    }
+
+    #[test]
+    fn mapped_bytes_and_clear() {
+        let mut dec = HdmDecoder::new();
+        dec.program(HdmRange::linear(0, 1 << 20, 0)).unwrap();
+        dec.program(HdmRange::linear(1 << 30, 1 << 20, 1 << 20)).unwrap();
+        assert_eq!(dec.mapped_bytes(), 2 << 20);
+        dec.clear();
+        assert_eq!(dec.mapped_bytes(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linear_round_trip(offset in 0u64..(1 << 24)) {
+            let base = 0x2_0000_0000u64;
+            let range = HdmRange::linear(base, 1 << 24, 0x100_0000);
+            let aligned = offset & !63;
+            if aligned < 1 << 24 {
+                let dpa = range.translate(base + aligned).unwrap();
+                prop_assert_eq!(dpa, 0x100_0000 + aligned);
+            }
+        }
+
+        #[test]
+        fn prop_interleave_ways_partition_address_space(
+            block in 0u64..1024,
+            ways in 2u8..5,
+        ) {
+            let gran = 4096u64;
+            let hpa = block * gran;
+            let mut owners = 0;
+            for pos in 0..ways {
+                let range = HdmRange {
+                    hpa_base: 0,
+                    len: 1024 * gran,
+                    dpa_base: 0,
+                    interleave_ways: ways,
+                    interleave_position: pos,
+                    interleave_granularity: gran,
+                };
+                if range.translate(hpa).is_some() {
+                    owners += 1;
+                }
+            }
+            // Exactly one interleave way owns any given block.
+            prop_assert_eq!(owners, 1);
+        }
+    }
+}

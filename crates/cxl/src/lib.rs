@@ -1,0 +1,54 @@
+//! Compute Express Link (CXL) device and protocol model.
+//!
+//! The paper's prototype (§2.2) is an Intel Agilex-7 FPGA card implementing a
+//! CXL 1.1/2.0 **Type-3** (memory expander) endpoint: the R-Tile hard IP
+//! terminates the PCIe Gen5 x16 link and the CXL link layer, a soft-IP
+//! pipeline implements the CXL.mem and CXL.io transaction layers, an HDM
+//! (host-managed device memory) decoder maps host physical addresses onto the
+//! two on-card DDR4-1333 modules, and the whole device shows up to Linux as a
+//! CPU-less NUMA node.
+//!
+//! This crate rebuilds that stack in software with a *functional* data path —
+//! requests really read and write bytes in a backing store — plus the
+//! performance parameters (`memsim` device/link specs) that the analytical
+//! engine uses to time the traffic:
+//!
+//! * [`config`] — spec revisions, device types, link configuration.
+//! * [`transaction`] — CXL.io and CXL.mem request/response types and opcode
+//!   semantics, with flit-level byte accounting.
+//! * [`hdm`] — HDM decoders: HPA range → device-local address, with interleave
+//!   support.
+//! * [`endpoint`] — the Type-3 device: transaction layers + HDM decoder +
+//!   backing store + statistics.
+//! * [`fpga`] — the Agilex-7 prototype: R-Tile/soft-IP split, DDR4 channels,
+//!   enumeration, and its `memsim` performance model.
+//! * [`switch`] — a CXL 2.0 switch with memory pooling (device → host binding,
+//!   dynamic capacity).
+//! * [`sharing`] — the multi-headed configuration of §2.2 where the *same*
+//!   device memory is exposed to two hosts with software-managed coherence.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod endpoint;
+pub mod error;
+pub mod fpga;
+pub mod hdm;
+pub mod sharing;
+pub mod sparse;
+pub mod switch;
+pub mod transaction;
+
+pub use config::{CxlDeviceType, CxlSpec, LinkConfig};
+pub use endpoint::{DeviceStats, Type3Device};
+pub use error::CxlError;
+pub use fpga::FpgaPrototype;
+pub use hdm::{HdmDecoder, HdmRange};
+pub use sharing::{CoherenceMode, SharedRegion};
+pub use sparse::SparseMemory;
+pub use switch::{CxlSwitch, PortId};
+pub use transaction::{IoRequest, IoResponse, MemOpcode, MemRequest, MemResponse};
+
+/// Result alias for CXL operations.
+pub type Result<T> = std::result::Result<T, CxlError>;

@@ -1,0 +1,324 @@
+//! Multi-headed sharing of device memory with software-managed coherence.
+//!
+//! Paper §2.2: "the CXL link facilitates access to an identical memory volume
+//! … the same far memory segment can be made available to two distinct NUMA
+//! nodes … However, due to the absence of a unified cache-coherent domain, the
+//! onus of maintaining coherency between the two NUMA nodes assigned to the
+//! shared far memory rests with the applications."
+//!
+//! [`SharedRegion`] models that arrangement: a window of a [`Type3Device`]
+//! that several hosts attach. The device itself is a single store, so writes
+//! are immediately visible at the media level — what is *not* guaranteed is
+//! that another host's CPU caches observe them. The region therefore tracks a
+//! per-host publication protocol (`publish`/`acquire`, i.e. flush + fence on
+//! the writer and invalidate on the reader) and can detect unsafe access
+//! sequences, which is exactly the discipline the paper expects applications
+//! to follow.
+
+use crate::endpoint::Type3Device;
+use crate::error::CxlError;
+use crate::Result;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How coherence across hosts is maintained for a shared region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoherenceMode {
+    /// No hardware coherence; applications publish/acquire explicitly
+    /// (the prototype's only option).
+    SoftwareManaged,
+    /// Hardware back-invalidation (CXL 3.0 style) — visibility is automatic.
+    HardwareBackInvalidate,
+}
+
+/// Statistics of one host's use of a shared region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostShareStats {
+    /// Bytes written by the host.
+    pub bytes_written: u64,
+    /// Bytes read by the host.
+    pub bytes_read: u64,
+    /// Publish (flush + fence) operations.
+    pub publishes: u64,
+    /// Acquire (invalidate) operations.
+    pub acquires: u64,
+}
+
+#[derive(Debug, Default)]
+struct HostState {
+    stats: HostShareStats,
+    /// Version of the region this host last acquired.
+    acquired_version: u64,
+    /// Whether the host has unpublished writes.
+    dirty: bool,
+}
+
+/// A window of a Type-3 device shared by multiple hosts.
+#[derive(Debug)]
+pub struct SharedRegion {
+    device: Arc<Type3Device>,
+    dpa_base: u64,
+    len: u64,
+    mode: CoherenceMode,
+    state: Mutex<SharedState>,
+}
+
+#[derive(Debug, Default)]
+struct SharedState {
+    hosts: HashMap<usize, HostState>,
+    /// Monotonic version, bumped by every publish.
+    version: u64,
+}
+
+impl SharedRegion {
+    /// Creates a shared region over `[dpa_base, dpa_base + len)` of `device`.
+    pub fn new(device: Arc<Type3Device>, dpa_base: u64, len: u64, mode: CoherenceMode) -> Result<Self> {
+        if dpa_base + len > device.capacity_bytes() {
+            return Err(CxlError::OutOfBounds {
+                dpa: dpa_base,
+                len: len as usize,
+                capacity: device.capacity_bytes(),
+            });
+        }
+        Ok(SharedRegion {
+            device,
+            dpa_base,
+            len,
+            mode,
+            state: Mutex::new(SharedState::default()),
+        })
+    }
+
+    /// Length of the shared window in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` for an empty window.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The coherence mode.
+    pub fn mode(&self) -> CoherenceMode {
+        self.mode
+    }
+
+    /// Attaches a host (maps the region into its address space).
+    pub fn attach(&self, host: usize) {
+        self.state.lock().hosts.entry(host).or_default();
+    }
+
+    /// Number of attached hosts.
+    pub fn attached_hosts(&self) -> usize {
+        self.state.lock().hosts.len()
+    }
+
+    fn check_attached(&self, host: usize) -> Result<()> {
+        if self.state.lock().hosts.contains_key(&host) {
+            Ok(())
+        } else {
+            Err(CxlError::NotAttached { host })
+        }
+    }
+
+    /// Writes `data` at `offset` within the region on behalf of `host`.
+    pub fn write(&self, host: usize, offset: u64, data: &[u8]) -> Result<()> {
+        self.check_attached(host)?;
+        if offset + data.len() as u64 > self.len {
+            return Err(CxlError::OutOfBounds {
+                dpa: self.dpa_base + offset,
+                len: data.len(),
+                capacity: self.dpa_base + self.len,
+            });
+        }
+        self.device.write_bulk(self.dpa_base + offset, data)?;
+        let mut state = self.state.lock();
+        let version = state.version;
+        let host_state = state.hosts.get_mut(&host).expect("attached");
+        host_state.stats.bytes_written += data.len() as u64;
+        host_state.dirty = true;
+        // Hardware coherence publishes implicitly.
+        if self.mode == CoherenceMode::HardwareBackInvalidate {
+            host_state.dirty = false;
+            host_state.acquired_version = version + 1;
+            state.version = version + 1;
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset` on behalf of `host`.
+    pub fn read(&self, host: usize, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check_attached(host)?;
+        if offset + buf.len() as u64 > self.len {
+            return Err(CxlError::OutOfBounds {
+                dpa: self.dpa_base + offset,
+                len: buf.len(),
+                capacity: self.dpa_base + self.len,
+            });
+        }
+        self.device.read_bulk(self.dpa_base + offset, buf)?;
+        let mut state = self.state.lock();
+        let host_state = state.hosts.get_mut(&host).expect("attached");
+        host_state.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Publishes the host's writes: flush its caches to the device and bump the
+    /// region version so other hosts can acquire it.
+    pub fn publish(&self, host: usize) -> Result<u64> {
+        self.check_attached(host)?;
+        self.device.global_persistent_flush();
+        let mut state = self.state.lock();
+        state.version += 1;
+        let version = state.version;
+        let host_state = state.hosts.get_mut(&host).expect("attached");
+        host_state.dirty = false;
+        host_state.stats.publishes += 1;
+        host_state.acquired_version = version;
+        Ok(version)
+    }
+
+    /// Acquires the latest published version: invalidate the host's stale
+    /// cached copies so subsequent reads observe other hosts' publications.
+    pub fn acquire(&self, host: usize) -> Result<u64> {
+        self.check_attached(host)?;
+        let mut state = self.state.lock();
+        let version = state.version;
+        let host_state = state.hosts.get_mut(&host).expect("attached");
+        host_state.acquired_version = version;
+        host_state.stats.acquires += 1;
+        Ok(version)
+    }
+
+    /// Whether `host` is guaranteed (under the software protocol) to observe
+    /// every publication made so far. With hardware coherence this is always
+    /// `true` once attached.
+    pub fn is_up_to_date(&self, host: usize) -> bool {
+        let state = self.state.lock();
+        match self.mode {
+            CoherenceMode::HardwareBackInvalidate => state.hosts.contains_key(&host),
+            CoherenceMode::SoftwareManaged => state
+                .hosts
+                .get(&host)
+                .map(|h| h.acquired_version == state.version)
+                .unwrap_or(false),
+        }
+    }
+
+    /// Whether `host` has written data it has not yet published.
+    pub fn has_unpublished_writes(&self, host: usize) -> bool {
+        self.state
+            .lock()
+            .hosts
+            .get(&host)
+            .map(|h| h.dirty)
+            .unwrap_or(false)
+    }
+
+    /// Per-host statistics.
+    pub fn stats(&self, host: usize) -> Option<HostShareStats> {
+        self.state.lock().hosts.get(&host).map(|h| h.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkConfig;
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn region(mode: CoherenceMode) -> SharedRegion {
+        let device = Arc::new(Type3Device::new("shared-dev", 16 * MIB, LinkConfig::gen5_x16()));
+        SharedRegion::new(device, 0, 8 * MIB, mode).unwrap()
+    }
+
+    #[test]
+    fn region_must_fit_in_device() {
+        let device = Arc::new(Type3Device::new("small", MIB, LinkConfig::gen5_x16()));
+        assert!(SharedRegion::new(device, 0, 2 * MIB, CoherenceMode::SoftwareManaged).is_err());
+    }
+
+    #[test]
+    fn unattached_hosts_cannot_access() {
+        let r = region(CoherenceMode::SoftwareManaged);
+        assert!(matches!(
+            r.write(0, 0, &[1, 2, 3]).unwrap_err(),
+            CxlError::NotAttached { host: 0 }
+        ));
+        let mut buf = [0u8; 4];
+        assert!(r.read(1, 0, &mut buf).is_err());
+        assert!(r.publish(0).is_err());
+    }
+
+    #[test]
+    fn two_hosts_see_each_others_data_after_publish_acquire() {
+        let r = region(CoherenceMode::SoftwareManaged);
+        r.attach(0);
+        r.attach(1);
+        assert_eq!(r.attached_hosts(), 2);
+
+        r.write(0, 1024, b"checkpoint-from-node-0").unwrap();
+        assert!(r.has_unpublished_writes(0));
+        r.publish(0).unwrap();
+        assert!(!r.has_unpublished_writes(0));
+        // Host 1 has not yet acquired the new publication.
+        assert!(!r.is_up_to_date(1));
+
+        r.acquire(1).unwrap();
+        assert!(r.is_up_to_date(1));
+        let mut buf = [0u8; 22];
+        r.read(1, 1024, &mut buf).unwrap();
+        assert_eq!(&buf, b"checkpoint-from-node-0");
+    }
+
+    #[test]
+    fn hardware_coherence_needs_no_explicit_protocol() {
+        let r = region(CoherenceMode::HardwareBackInvalidate);
+        r.attach(0);
+        r.attach(1);
+        r.write(0, 0, &[42; 64]).unwrap();
+        assert!(!r.has_unpublished_writes(0));
+        assert!(r.is_up_to_date(1));
+    }
+
+    #[test]
+    fn out_of_window_access_is_rejected() {
+        let r = region(CoherenceMode::SoftwareManaged);
+        r.attach(0);
+        assert!(r.write(0, 8 * MIB - 2, &[1, 2, 3, 4]).is_err());
+        let mut buf = [0u8; 16];
+        assert!(r.read(0, 8 * MIB, &mut buf).is_err());
+    }
+
+    #[test]
+    fn stats_track_traffic_and_protocol_ops() {
+        let r = region(CoherenceMode::SoftwareManaged);
+        r.attach(0);
+        r.write(0, 0, &[1; 128]).unwrap();
+        r.publish(0).unwrap();
+        let mut buf = [0u8; 64];
+        r.read(0, 0, &mut buf).unwrap();
+        r.acquire(0).unwrap();
+        let stats = r.stats(0).unwrap();
+        assert_eq!(stats.bytes_written, 128);
+        assert_eq!(stats.bytes_read, 64);
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(stats.acquires, 1);
+        assert!(r.stats(9).is_none());
+    }
+
+    #[test]
+    fn versions_advance_monotonically() {
+        let r = region(CoherenceMode::SoftwareManaged);
+        r.attach(0);
+        let v1 = r.publish(0).unwrap();
+        let v2 = r.publish(0).unwrap();
+        assert!(v2 > v1);
+        let acquired = r.acquire(0).unwrap();
+        assert_eq!(acquired, v2);
+    }
+}

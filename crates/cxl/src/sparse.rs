@@ -1,0 +1,173 @@
+//! Sparse byte store used as the backing memory of modelled devices.
+//!
+//! A real expander carries tens of GiB; allocating that eagerly in a test
+//! process is wasteful and slow. [`SparseMemory`] provides the same semantics
+//! as a zero-initialised `Vec<u8>` of the full capacity — reads of untouched
+//! regions return zeros — while only materialising 64 KiB chunks that have
+//! actually been written.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Chunk granularity of the sparse store.
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// A sparse, zero-default byte store with a fixed logical capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SparseMemory {
+    capacity: u64,
+    chunks: BTreeMap<u64, Vec<u8>>,
+}
+
+impl SparseMemory {
+    /// Creates a store with the given logical capacity.
+    pub fn new(capacity: u64) -> Self {
+        SparseMemory {
+            capacity,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// Logical capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes of physical memory actually materialised.
+    pub fn resident_bytes(&self) -> u64 {
+        self.chunks.len() as u64 * CHUNK_BYTES as u64
+    }
+
+    /// Returns `true` if the range `[offset, offset + len)` fits in the store.
+    pub fn in_bounds(&self, offset: u64, len: usize) -> bool {
+        offset
+            .checked_add(len as u64)
+            .map(|end| end <= self.capacity)
+            .unwrap_or(false)
+    }
+
+    /// Reads `buf.len()` bytes at `offset`. Untouched regions read as zero.
+    /// Panics if out of bounds — callers bound-check first.
+    pub fn read(&self, offset: u64, buf: &mut [u8]) {
+        assert!(self.in_bounds(offset, buf.len()), "sparse read out of bounds");
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let chunk_index = pos / CHUNK_BYTES as u64;
+            let within = (pos % CHUNK_BYTES as u64) as usize;
+            let take = (CHUNK_BYTES - within).min(buf.len() - done);
+            match self.chunks.get(&chunk_index) {
+                Some(chunk) => buf[done..done + take].copy_from_slice(&chunk[within..within + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+        }
+    }
+
+    /// Writes `data` at `offset`, materialising chunks as needed.
+    /// Panics if out of bounds — callers bound-check first.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        assert!(self.in_bounds(offset, data.len()), "sparse write out of bounds");
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let chunk_index = pos / CHUNK_BYTES as u64;
+            let within = (pos % CHUNK_BYTES as u64) as usize;
+            let take = (CHUNK_BYTES - within).min(data.len() - done);
+            let chunk = self
+                .chunks
+                .entry(chunk_index)
+                .or_insert_with(|| vec![0u8; CHUNK_BYTES]);
+            chunk[within..within + take].copy_from_slice(&data[done..done + take]);
+            done += take;
+        }
+    }
+
+    /// Clears every byte back to zero (drops all chunks).
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = SparseMemory::new(1 << 40); // a terabyte costs nothing
+        let mut buf = [0xFFu8; 256];
+        mem.read((1 << 39) + 17, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(mem.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip_across_chunk_boundary() {
+        let mut mem = SparseMemory::new(1 << 20);
+        let offset = CHUNK_BYTES as u64 - 10;
+        let data: Vec<u8> = (0..64u8).collect();
+        mem.write(offset, &data);
+        let mut back = vec![0u8; 64];
+        mem.read(offset, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(mem.resident_bytes(), 2 * CHUNK_BYTES as u64);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mem = SparseMemory::new(1024);
+        assert!(mem.in_bounds(0, 1024));
+        assert!(!mem.in_bounds(1, 1024));
+        assert!(!mem.in_bounds(u64::MAX, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_read_panics() {
+        let mem = SparseMemory::new(16);
+        let mut buf = [0u8; 32];
+        mem.read(0, &mut buf);
+    }
+
+    #[test]
+    fn clear_resets_to_zero() {
+        let mut mem = SparseMemory::new(4096);
+        mem.write(0, &[1u8; 128]);
+        mem.clear();
+        let mut buf = [9u8; 128];
+        mem.read(0, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(mem.resident_bytes(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(offset in 0u64..500_000, data in proptest::collection::vec(any::<u8>(), 1..512)) {
+            let mut mem = SparseMemory::new(1 << 20);
+            if mem.in_bounds(offset, data.len()) {
+                mem.write(offset, &data);
+                let mut back = vec![0u8; data.len()];
+                mem.read(offset, &mut back);
+                prop_assert_eq!(back, data);
+            }
+        }
+
+        #[test]
+        fn prop_disjoint_writes_do_not_interfere(
+            a_off in 0u64..1000u64,
+            b_off in 2000u64..3000u64,
+        ) {
+            let mut mem = SparseMemory::new(1 << 20);
+            mem.write(a_off, &[0xAA; 100]);
+            mem.write(b_off, &[0xBB; 100]);
+            let mut a = [0u8; 100];
+            let mut b = [0u8; 100];
+            mem.read(a_off, &mut a);
+            mem.read(b_off, &mut b);
+            prop_assert!(a.iter().all(|&x| x == 0xAA));
+            prop_assert!(b.iter().all(|&x| x == 0xBB));
+        }
+    }
+}

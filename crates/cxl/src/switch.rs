@@ -1,0 +1,254 @@
+//! CXL 2.0 switching and memory pooling.
+//!
+//! CXL 2.0 "expands the specification – among other capabilities – to memory
+//! pools using CXL switches on a device level" (paper §1.3). A [`CxlSwitch`]
+//! has upstream ports (hosts) and downstream ports (Type-3 devices); devices
+//! can be bound to hosts and their capacity carved into pool allocations with
+//! dynamic-capacity semantics, which is the mechanism behind "adaptive memory
+//! provisioning to compute nodes in real time".
+
+use crate::endpoint::Type3Device;
+use crate::error::CxlError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifier of a switch port.
+pub type PortId = usize;
+/// Identifier of a host (an upstream port owner).
+pub type HostId = usize;
+
+/// A capacity allocation handed to a host from the pool.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolAllocation {
+    /// Allocation id.
+    pub id: u64,
+    /// Host owning the allocation.
+    pub host: HostId,
+    /// Downstream port (device) the capacity comes from.
+    pub port: PortId,
+    /// Offset within the device (DPA).
+    pub dpa_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A CXL 2.0 switch with memory pooling.
+#[derive(Debug)]
+pub struct CxlSwitch {
+    name: String,
+    devices: Vec<Arc<Type3Device>>,
+    /// Downstream port -> host binding.
+    bindings: HashMap<PortId, HostId>,
+    /// Next free DPA per downstream port (simple bump allocation).
+    watermark: Vec<u64>,
+    allocations: Vec<PoolAllocation>,
+    next_alloc_id: u64,
+}
+
+impl CxlSwitch {
+    /// Creates a switch with no attached devices.
+    pub fn new(name: impl Into<String>) -> Self {
+        CxlSwitch {
+            name: name.into(),
+            devices: Vec::new(),
+            bindings: HashMap::new(),
+            watermark: Vec::new(),
+            allocations: Vec::new(),
+            next_alloc_id: 1,
+        }
+    }
+
+    /// Switch name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attaches a Type-3 device to the next downstream port; returns the port id.
+    pub fn attach_device(&mut self, device: Arc<Type3Device>) -> PortId {
+        self.devices.push(device);
+        self.watermark.push(0);
+        self.devices.len() - 1
+    }
+
+    /// Number of downstream ports.
+    pub fn ports(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The device on a port.
+    pub fn device(&self, port: PortId) -> Result<&Arc<Type3Device>> {
+        self.devices.get(port).ok_or(CxlError::UnknownPort(port))
+    }
+
+    /// Binds a downstream port exclusively to a host (CXL 2.0 single-logical-
+    /// device assignment). Fails if already bound.
+    pub fn bind_port(&mut self, port: PortId, host: HostId) -> Result<()> {
+        if port >= self.devices.len() {
+            return Err(CxlError::UnknownPort(port));
+        }
+        if self.bindings.contains_key(&port) {
+            return Err(CxlError::PortAlreadyBound(port));
+        }
+        self.bindings.insert(port, host);
+        Ok(())
+    }
+
+    /// Unbinds a port (e.g. to re-provision it to another host).
+    pub fn unbind_port(&mut self, port: PortId) -> Result<()> {
+        if port >= self.devices.len() {
+            return Err(CxlError::UnknownPort(port));
+        }
+        self.bindings.remove(&port);
+        Ok(())
+    }
+
+    /// The host a port is bound to, if any.
+    pub fn binding(&self, port: PortId) -> Option<HostId> {
+        self.bindings.get(&port).copied()
+    }
+
+    /// Total capacity across all downstream devices (bytes).
+    pub fn total_capacity(&self) -> u64 {
+        self.devices.iter().map(|d| d.capacity_bytes()).sum()
+    }
+
+    /// Capacity not yet handed out by the pool (bytes).
+    pub fn unassigned_capacity(&self) -> u64 {
+        self.devices
+            .iter()
+            .zip(self.watermark.iter())
+            .map(|(d, &w)| d.capacity_bytes().saturating_sub(w))
+            .sum()
+    }
+
+    /// Allocates `len` bytes from the pool to `host` (dynamic capacity add).
+    /// Capacity is taken from the first device with room; an allocation never
+    /// spans devices.
+    pub fn allocate(&mut self, host: HostId, len: u64) -> Result<PoolAllocation> {
+        for (port, device) in self.devices.iter().enumerate() {
+            let free = device.capacity_bytes() - self.watermark[port];
+            if free >= len {
+                let alloc = PoolAllocation {
+                    id: self.next_alloc_id,
+                    host,
+                    port,
+                    dpa_offset: self.watermark[port],
+                    len,
+                };
+                self.next_alloc_id += 1;
+                self.watermark[port] += len;
+                self.allocations.push(alloc.clone());
+                return Ok(alloc);
+            }
+        }
+        Err(CxlError::InsufficientCapacity {
+            requested: len,
+            available: self.unassigned_capacity(),
+        })
+    }
+
+    /// Releases an allocation (dynamic capacity release). Freed capacity is
+    /// only reusable once it is the most recent allocation on its device — the
+    /// simple bump allocator mirrors how the prototype carves regions.
+    pub fn release(&mut self, allocation_id: u64) -> Result<()> {
+        let Some(pos) = self.allocations.iter().position(|a| a.id == allocation_id) else {
+            return Err(CxlError::InvalidRegister(allocation_id as u32));
+        };
+        let alloc = self.allocations.remove(pos);
+        if self.watermark[alloc.port] == alloc.dpa_offset + alloc.len {
+            self.watermark[alloc.port] = alloc.dpa_offset;
+        }
+        Ok(())
+    }
+
+    /// All live allocations of a host.
+    pub fn allocations_of(&self, host: HostId) -> Vec<&PoolAllocation> {
+        self.allocations.iter().filter(|a| a.host == host).collect()
+    }
+
+    /// Capacity currently assigned to a host (bytes).
+    pub fn assigned_to(&self, host: HostId) -> u64 {
+        self.allocations_of(host).iter().map(|a| a.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LinkConfig;
+
+    const GIB: u64 = 1024 * 1024 * 1024;
+
+    fn switch_with_two_devices() -> CxlSwitch {
+        let mut sw = CxlSwitch::new("rack-switch");
+        sw.attach_device(Arc::new(Type3Device::new("dev0", 4 * GIB, LinkConfig::gen5_x16())));
+        sw.attach_device(Arc::new(Type3Device::new("dev1", 4 * GIB, LinkConfig::gen5_x16())));
+        sw
+    }
+
+    #[test]
+    fn attach_and_capacity() {
+        let sw = switch_with_two_devices();
+        assert_eq!(sw.ports(), 2);
+        assert_eq!(sw.total_capacity(), 8 * GIB);
+        assert_eq!(sw.unassigned_capacity(), 8 * GIB);
+        assert!(sw.device(0).is_ok());
+        assert!(sw.device(5).is_err());
+    }
+
+    #[test]
+    fn port_binding_is_exclusive() {
+        let mut sw = switch_with_two_devices();
+        sw.bind_port(0, 10).unwrap();
+        assert_eq!(sw.binding(0), Some(10));
+        assert_eq!(sw.bind_port(0, 11).unwrap_err(), CxlError::PortAlreadyBound(0));
+        sw.unbind_port(0).unwrap();
+        sw.bind_port(0, 11).unwrap();
+        assert!(sw.bind_port(7, 1).is_err());
+    }
+
+    #[test]
+    fn pool_allocation_and_release() {
+        let mut sw = switch_with_two_devices();
+        let a = sw.allocate(1, 3 * GIB).unwrap();
+        assert_eq!(a.port, 0);
+        assert_eq!(a.dpa_offset, 0);
+        // Next big allocation does not fit on device 0 and moves to device 1.
+        let b = sw.allocate(2, 2 * GIB).unwrap();
+        assert_eq!(b.port, 1);
+        assert_eq!(sw.assigned_to(1), 3 * GIB);
+        assert_eq!(sw.assigned_to(2), 2 * GIB);
+        assert_eq!(sw.unassigned_capacity(), 3 * GIB);
+        // Releasing the top allocation frees the capacity.
+        sw.release(b.id).unwrap();
+        assert_eq!(sw.unassigned_capacity(), 5 * GIB);
+        assert!(sw.release(9999).is_err());
+    }
+
+    #[test]
+    fn over_allocation_is_rejected_with_remaining_capacity() {
+        let mut sw = switch_with_two_devices();
+        sw.allocate(1, 4 * GIB).unwrap();
+        let err = sw.allocate(1, 5 * GIB).unwrap_err();
+        match err {
+            CxlError::InsufficientCapacity { requested, available } => {
+                assert_eq!(requested, 5 * GIB);
+                assert_eq!(available, 4 * GIB);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allocations_of_lists_per_host() {
+        let mut sw = switch_with_two_devices();
+        sw.allocate(1, GIB).unwrap();
+        sw.allocate(2, GIB).unwrap();
+        sw.allocate(1, GIB).unwrap();
+        assert_eq!(sw.allocations_of(1).len(), 2);
+        assert_eq!(sw.allocations_of(2).len(), 1);
+        assert_eq!(sw.allocations_of(3).len(), 0);
+    }
+}

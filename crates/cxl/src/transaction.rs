@@ -1,0 +1,264 @@
+//! CXL.io and CXL.mem transaction-layer types.
+//!
+//! The paper's soft IP "adeptly handles incoming CXL.mem requests originating
+//! from the CPU host" and "the CXL.io transaction layer undertakes the
+//! responsibility of processing CXL.io requests … configuration and memory
+//! space inquiries" (§2.2). This module defines those requests and responses
+//! with enough fidelity to account flit bytes and to actually move data.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a CXL.mem data transfer: always one 64-byte cache line.
+pub const CACHE_LINE_BYTES: usize = 64;
+/// Size of a CXL 68-byte flit (64 B payload + 4 B header/CRC) used on Gen5.
+pub const FLIT_BYTES: usize = 68;
+
+/// Master-to-Subordinate (host → device) CXL.mem opcodes, following the
+/// M2S Req / M2S RwD message classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemOpcode {
+    /// Read one cache line (M2S Req `MemRd`).
+    MemRd,
+    /// Read without data return, used for cache-coherence management (`MemInv`).
+    MemInv,
+    /// Write a full cache line (M2S RwD `MemWr`).
+    MemWr,
+    /// Partial write with byte enables (M2S RwD `MemWrPtl`).
+    MemWrPtl,
+}
+
+impl MemOpcode {
+    /// Whether the opcode carries a 64-byte payload from host to device.
+    pub fn carries_write_data(&self) -> bool {
+        matches!(self, MemOpcode::MemWr | MemOpcode::MemWrPtl)
+    }
+
+    /// Whether the device must return a 64-byte payload.
+    pub fn returns_data(&self) -> bool {
+        matches!(self, MemOpcode::MemRd)
+    }
+}
+
+/// A host → device CXL.mem request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Operation.
+    pub opcode: MemOpcode,
+    /// Host physical address (cache-line aligned for full-line operations).
+    pub hpa: u64,
+    /// Payload for write operations (`None` for reads/invalidations).
+    pub data: Option<[u8; CACHE_LINE_BYTES]>,
+    /// Byte-enable mask for `MemWrPtl`; ignored otherwise.
+    pub byte_enable: u64,
+    /// Tag used to match the response.
+    pub tag: u16,
+}
+
+impl MemRequest {
+    /// A full-line read.
+    pub fn read(hpa: u64, tag: u16) -> Self {
+        MemRequest {
+            opcode: MemOpcode::MemRd,
+            hpa,
+            data: None,
+            byte_enable: u64::MAX,
+            tag,
+        }
+    }
+
+    /// A full-line write.
+    pub fn write(hpa: u64, data: [u8; CACHE_LINE_BYTES], tag: u16) -> Self {
+        MemRequest {
+            opcode: MemOpcode::MemWr,
+            hpa,
+            data: Some(data),
+            byte_enable: u64::MAX,
+            tag,
+        }
+    }
+
+    /// A partial write: only bytes whose bit is set in `byte_enable` are stored.
+    pub fn write_partial(hpa: u64, data: [u8; CACHE_LINE_BYTES], byte_enable: u64, tag: u16) -> Self {
+        MemRequest {
+            opcode: MemOpcode::MemWrPtl,
+            hpa,
+            data: Some(data),
+            byte_enable,
+            tag,
+        }
+    }
+
+    /// Number of flit bytes this request occupies on the link (request flit
+    /// plus a data flit when carrying a payload).
+    pub fn flit_bytes(&self) -> usize {
+        if self.opcode.carries_write_data() {
+            2 * FLIT_BYTES
+        } else {
+            FLIT_BYTES
+        }
+    }
+}
+
+/// A device → host CXL.mem response (S2M DRS for data, S2M NDR otherwise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Tag of the matching request.
+    pub tag: u16,
+    /// Data returned for reads.
+    pub data: Option<[u8; CACHE_LINE_BYTES]>,
+    /// Whether the request completed successfully.
+    pub success: bool,
+}
+
+impl MemResponse {
+    /// Number of flit bytes this response occupies on the link.
+    pub fn flit_bytes(&self) -> usize {
+        if self.data.is_some() {
+            2 * FLIT_BYTES
+        } else {
+            FLIT_BYTES
+        }
+    }
+}
+
+/// CXL.io (PCIe-semantics) requests: configuration and MMIO register access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IoRequest {
+    /// Configuration-space read of a 32-bit register at `offset`.
+    ConfigRead {
+        /// Register offset in configuration space.
+        offset: u32,
+    },
+    /// Configuration-space write.
+    ConfigWrite {
+        /// Register offset in configuration space.
+        offset: u32,
+        /// Value to write.
+        value: u32,
+    },
+    /// Memory-mapped register read (e.g. mailbox, HDM decoder programming).
+    MmioRead {
+        /// Register offset in the device's MMIO BAR.
+        offset: u32,
+    },
+    /// Memory-mapped register write.
+    MmioWrite {
+        /// Register offset in the device's MMIO BAR.
+        offset: u32,
+        /// Value to write.
+        value: u32,
+    },
+}
+
+/// CXL.io response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoResponse {
+    /// Value returned for reads; echoed value for writes.
+    pub value: u32,
+    /// Whether the access hit a valid register.
+    pub success: bool,
+}
+
+/// Running counters of link traffic, maintained by endpoints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlitCounters {
+    /// Flit bytes sent host → device.
+    pub m2s_bytes: u64,
+    /// Flit bytes sent device → host.
+    pub s2m_bytes: u64,
+    /// Number of CXL.mem requests processed.
+    pub mem_requests: u64,
+    /// Number of CXL.io requests processed.
+    pub io_requests: u64,
+}
+
+impl FlitCounters {
+    /// Records a request/response pair.
+    pub fn record_mem(&mut self, request: &MemRequest, response: &MemResponse) {
+        self.m2s_bytes += request.flit_bytes() as u64;
+        self.s2m_bytes += response.flit_bytes() as u64;
+        self.mem_requests += 1;
+    }
+
+    /// Records a CXL.io access.
+    pub fn record_io(&mut self) {
+        self.io_requests += 1;
+        self.m2s_bytes += FLIT_BYTES as u64;
+        self.s2m_bytes += FLIT_BYTES as u64;
+    }
+
+    /// Link protocol efficiency observed so far: payload bytes over flit bytes.
+    pub fn payload_efficiency(&self) -> f64 {
+        let flits = self.m2s_bytes + self.s2m_bytes;
+        if flits == 0 {
+            return 0.0;
+        }
+        let payload = self.mem_requests * CACHE_LINE_BYTES as u64;
+        payload as f64 / flits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_request_has_no_payload_and_one_flit() {
+        let r = MemRequest::read(0x1000, 7);
+        assert_eq!(r.opcode, MemOpcode::MemRd);
+        assert!(r.data.is_none());
+        assert_eq!(r.flit_bytes(), FLIT_BYTES);
+        assert!(r.opcode.returns_data());
+        assert!(!r.opcode.carries_write_data());
+    }
+
+    #[test]
+    fn write_request_occupies_two_flits() {
+        let r = MemRequest::write(0x40, [0xAB; 64], 1);
+        assert_eq!(r.flit_bytes(), 2 * FLIT_BYTES);
+        assert!(r.opcode.carries_write_data());
+        assert!(!r.opcode.returns_data());
+    }
+
+    #[test]
+    fn partial_write_keeps_byte_enable() {
+        let r = MemRequest::write_partial(0x80, [1; 64], 0x00FF, 3);
+        assert_eq!(r.opcode, MemOpcode::MemWrPtl);
+        assert_eq!(r.byte_enable, 0x00FF);
+    }
+
+    #[test]
+    fn response_flit_size_depends_on_data() {
+        let with_data = MemResponse {
+            tag: 0,
+            data: Some([0; 64]),
+            success: true,
+        };
+        let without = MemResponse {
+            tag: 0,
+            data: None,
+            success: true,
+        };
+        assert_eq!(with_data.flit_bytes(), 2 * FLIT_BYTES);
+        assert_eq!(without.flit_bytes(), FLIT_BYTES);
+    }
+
+    #[test]
+    fn counters_accumulate_and_compute_efficiency() {
+        let mut counters = FlitCounters::default();
+        let req = MemRequest::read(0, 0);
+        let resp = MemResponse {
+            tag: 0,
+            data: Some([0; 64]),
+            success: true,
+        };
+        counters.record_mem(&req, &resp);
+        counters.record_io();
+        assert_eq!(counters.mem_requests, 1);
+        assert_eq!(counters.io_requests, 1);
+        assert!(counters.m2s_bytes > 0 && counters.s2m_bytes > 0);
+        let eff = counters.payload_efficiency();
+        assert!(eff > 0.0 && eff < 1.0);
+        assert_eq!(FlitCounters::default().payload_efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Calibration constants derived from the paper and public specifications.
+//!
+//! Each constant cites the paper observation it is calibrated against. These
+//! values are what make the reproduction *shape-faithful*: the absolute GB/s
+//! figures come from this table, the relative behaviour (who wins, where the
+//! curves cross, when they saturate) comes from the model structure in
+//! [`crate::engine`].
+
+/// STREAM efficiency of a DDR DIMM: fraction of the theoretical pin bandwidth
+/// a streaming kernel actually sustains. ~78 % is typical for recent Xeons.
+pub const DDR_STREAM_EFFICIENCY: f64 = 0.78;
+
+/// Theoretical bandwidth of one DDR5-4800 DIMM: 4800 MT/s × 8 B = 38.4 GB/s.
+pub const DDR5_4800_DIMM_PEAK_GBS: f64 = 38.4;
+
+/// Sustainable STREAM ceiling of one DDR5-4800 DIMM.
+///
+/// Paper §4, class 1.(a): "App-Direct access using PMDK to the local DDR5
+/// memory is saturated around 20-22 GB/s"; removing the 10–15 % PMDK overhead
+/// puts the raw ceiling at ≈ 25–30 GB/s, consistent with 38.4 × 0.78 ≈ 30.
+pub const DDR5_LOCAL_CEILING_GBS: f64 = DDR5_4800_DIMM_PEAK_GBS * DDR_STREAM_EFFICIENCY;
+
+/// Theoretical bandwidth of one DDR4-2666 channel: 21.3 GB/s; Setup #2 has six.
+pub const DDR4_2666_CHANNEL_PEAK_GBS: f64 = 21.3;
+
+/// Theoretical bandwidth of one DDR4-1333 module on the FPGA card: 10.6 GB/s;
+/// the prototype carries two of them (§2.2).
+pub const DDR4_1333_MODULE_PEAK_GBS: f64 = 10.664;
+
+/// Effective ceiling of the FPGA CXL prototype's memory subsystem.
+///
+/// §2.2: "the bandwidth attainable from this prototype configuration is subject
+/// to current implementation constraints" — a single-slice soft-IP pipeline and
+/// one DDR channel in practice. §4 class 1.(b)/(c) place CXL App-Direct at
+/// ≈ half the remote-DDR5 figure with "about 2-3 GB/s loss attributed to the
+/// CXL fabric", i.e. ≈ 9–11 GB/s raw.
+pub const CXL_PROTOTYPE_CEILING_GBS: f64 = 11.5;
+
+/// Idle load-to-use latency of local DDR5 on Sapphire Rapids (ns).
+pub const DDR5_LOCAL_LATENCY_NS: f64 = 95.0;
+
+/// Idle latency of local DDR4 on Xeon Gold (ns).
+pub const DDR4_LOCAL_LATENCY_NS: f64 = 87.0;
+
+/// Extra latency added by one UPI hop (ns).
+pub const UPI_HOP_LATENCY_NS: f64 = 70.0;
+
+/// Extra latency added by the CXL path: PCIe Gen5 round trip plus the FPGA
+/// R-Tile/soft-IP pipeline plus the on-card DDR4 controller (ns). FPGA-based
+/// CXL prototypes sit in the 300–450 ns load-to-use range.
+pub const CXL_FABRIC_LATENCY_NS: f64 = 290.0;
+
+/// Effective bandwidth of the UPI links between two Sapphire Rapids sockets.
+pub const UPI_SPR_EFFECTIVE_GBS: f64 = 18.0;
+
+/// Effective bandwidth of the UPI links between two Xeon Gold 5215 sockets
+/// (2 × 10.4 GT/s links, practical STREAM ceiling well below nominal).
+pub const UPI_XEON_GOLD_EFFECTIVE_GBS: f64 = 13.0;
+
+/// PCIe Gen5 x16 per-direction bandwidth used by CXL 1.1/2.0 (§1.3): 64 GB/s.
+pub const PCIE_GEN5_X16_GBS: f64 = 64.0;
+
+/// Per-core memory-level parallelism (outstanding 64-byte lines) of Sapphire
+/// Rapids cores running STREAM-like code.
+pub const SPR_CORE_MLP: f64 = 12.0;
+
+/// Per-core memory-level parallelism of Xeon Gold 5215 (Cascade Lake) cores.
+pub const XEON_GOLD_CORE_MLP: f64 = 10.0;
+
+/// Published per-module Optane DCPMM read bandwidth (GB/s) the paper compares
+/// against (§1.4, citing Izraelevitz et al.): 6.6 GB/s.
+pub const DCPMM_READ_GBS: f64 = 6.6;
+
+/// Published per-module Optane DCPMM write bandwidth (GB/s): 2.3 GB/s.
+pub const DCPMM_WRITE_GBS: f64 = 2.3;
+
+/// Idle read latency of Optane DCPMM (ns), from the same measurement study.
+pub const DCPMM_READ_LATENCY_NS: f64 = 305.0;
+
+/// PMDK (`libpmemobj`) software overhead over raw CC-NUMA access of the same
+/// device. §4 class 2.(a): "PMDK overheads over CC-NUMA are 10%-15%".
+pub const PMDK_OVERHEAD_FACTOR: f64 = 1.125;
+
+/// Bandwidth efficiency of random (non-streaming) access relative to
+/// sequential streaming on DRAM-class devices.
+pub const RANDOM_ACCESS_EFFICIENCY: f64 = 0.35;
+
+/// Ratio between DDR5 and DDR4 bandwidth the paper repeatedly leans on
+/// ("noting that DDR4 has about 50% bandwidth of DDR5").
+pub const DDR5_OVER_DDR4_RATIO: f64 = 2.0;
+
+/// STREAM array size used throughout the paper's figures (elements per array).
+pub const PAPER_STREAM_ELEMENTS: usize = 100_000_000;
+
+/// Default STREAM repetition count (the original benchmark's NTIMES).
+pub const STREAM_NTIMES: usize = 10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr5_ceiling_close_to_30() {
+        assert!(DDR5_LOCAL_CEILING_GBS > 28.0 && DDR5_LOCAL_CEILING_GBS < 32.0);
+    }
+
+    #[test]
+    fn cxl_prototype_slower_than_local_ddr5_but_faster_than_dcpmm_writes() {
+        assert!(CXL_PROTOTYPE_CEILING_GBS < DDR5_LOCAL_CEILING_GBS);
+        assert!(CXL_PROTOTYPE_CEILING_GBS > DCPMM_WRITE_GBS);
+        assert!(CXL_PROTOTYPE_CEILING_GBS > DCPMM_READ_GBS);
+    }
+
+    #[test]
+    fn latency_ordering_matches_hardware() {
+        assert!(DDR5_LOCAL_LATENCY_NS < DDR5_LOCAL_LATENCY_NS + UPI_HOP_LATENCY_NS);
+        assert!(UPI_HOP_LATENCY_NS < CXL_FABRIC_LATENCY_NS);
+        assert!(DCPMM_READ_LATENCY_NS > DDR5_LOCAL_LATENCY_NS);
+    }
+
+    #[test]
+    fn pmdk_overhead_within_paper_range() {
+        // 10%-15% overhead.
+        assert!(PMDK_OVERHEAD_FACTOR >= 1.10 && PMDK_OVERHEAD_FACTOR <= 1.15);
+    }
+
+    #[test]
+    fn ddr_ratio_is_about_two() {
+        let ddr4_6ch = DDR4_2666_CHANNEL_PEAK_GBS;
+        assert!(DDR5_4800_DIMM_PEAK_GBS / ddr4_6ch < DDR5_OVER_DDR4_RATIO);
+        assert!(DDR5_4800_DIMM_PEAK_GBS / (2.0 * DDR4_1333_MODULE_PEAK_GBS) > 1.5);
+    }
+}

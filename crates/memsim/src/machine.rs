@@ -1,0 +1,345 @@
+//! A machine: a NUMA topology plus memory devices and interconnect paths.
+
+use crate::access::AccessPattern;
+use crate::calibration as cal;
+use crate::device::DeviceSpec;
+use crate::error::SimError;
+use crate::link::Path;
+use crate::units::CACHE_LINE;
+use crate::Result;
+use numa::{NodeId, SocketId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A complete machine model: topology, per-node devices and socket→node paths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    topology: Topology,
+    devices: Vec<DeviceSpec>,
+    #[serde(with = "path_map_serde")]
+    paths: HashMap<(SocketId, NodeId), Path>,
+    /// Per-core memory-level parallelism: outstanding 64 B lines a core keeps
+    /// in flight while streaming.
+    core_mlp: f64,
+}
+
+impl Machine {
+    /// Starts building a machine around a topology.
+    pub fn builder(topology: Topology) -> MachineBuilder {
+        MachineBuilder {
+            topology,
+            devices: HashMap::new(),
+            paths: HashMap::new(),
+            core_mlp: cal::SPR_CORE_MLP,
+        }
+    }
+
+    /// The machine's NUMA topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The memory device backing a NUMA node.
+    pub fn device(&self, node: NodeId) -> Result<&DeviceSpec> {
+        self.devices.get(node).ok_or(SimError::MissingDevice(node))
+    }
+
+    /// All devices in node order.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// The interconnect path from a socket to a node.
+    pub fn path(&self, socket: SocketId, node: NodeId) -> Result<&Path> {
+        self.paths
+            .get(&(socket, node))
+            .ok_or(SimError::MissingPath { socket, node })
+    }
+
+    /// Per-core memory-level parallelism.
+    pub fn core_mlp(&self) -> f64 {
+        self.core_mlp
+    }
+
+    /// End-to-end idle latency (ns) from a CPU to a node: device latency plus
+    /// every link on the path.
+    pub fn access_latency_ns(&self, cpu: usize, node: NodeId) -> Result<f64> {
+        let socket = self
+            .topology
+            .socket_of_cpu(cpu)
+            .ok_or(SimError::UnknownCpu(cpu))?;
+        let device = self.device(node)?;
+        let path = self.path(socket, node)?;
+        Ok(device.idle_latency_ns + path.added_latency_ns())
+    }
+
+    /// The latency-bound bandwidth one thread on `cpu` can extract from `node`
+    /// (GB/s): `MLP × 64 B / latency`, de-rated for random access.
+    pub fn per_thread_bandwidth_gbs(
+        &self,
+        cpu: usize,
+        node: NodeId,
+        pattern: AccessPattern,
+    ) -> Result<f64> {
+        let latency_ns = self.access_latency_ns(cpu, node)?;
+        if latency_ns <= 0.0 {
+            return Err(SimError::InvalidParameter(format!(
+                "non-positive latency {latency_ns} ns"
+            )));
+        }
+        let bw = self.core_mlp * CACHE_LINE as f64 / latency_ns;
+        Ok(match pattern {
+            AccessPattern::Sequential => bw,
+            AccessPattern::Random => bw * cal::RANDOM_ACCESS_EFFICIENCY,
+        })
+    }
+
+    /// The narrowest ceiling (GB/s) between a socket and a node: the minimum of
+    /// the device's mixed read/write ceiling and every link on the path,
+    /// de-rated for random access.
+    pub fn path_ceiling_gbs(
+        &self,
+        socket: SocketId,
+        node: NodeId,
+        read_bytes: u64,
+        write_bytes: u64,
+        pattern: AccessPattern,
+    ) -> Result<f64> {
+        let device = self.device(node)?;
+        let path = self.path(socket, node)?;
+        let mut ceiling = device.mixed_bandwidth_gbs(read_bytes, write_bytes);
+        if let Some(link_min) = path.min_bandwidth_gbs() {
+            ceiling = ceiling.min(link_min);
+        }
+        Ok(match pattern {
+            AccessPattern::Sequential => ceiling,
+            AccessPattern::Random => ceiling * cal::RANDOM_ACCESS_EFFICIENCY,
+        })
+    }
+
+    /// Checks that an allocation of `bytes` fits on `node`.
+    pub fn check_capacity(&self, node: NodeId, bytes: u64) -> Result<()> {
+        let available = self.topology.node(node).map_err(SimError::from)?.mem_bytes;
+        if bytes > available {
+            return Err(SimError::CapacityExceeded {
+                node,
+                requested: bytes,
+                available,
+            });
+        }
+        Ok(())
+    }
+
+    /// Replaces the device of a node (used by ablations — e.g. swapping the
+    /// CXL expander's DDR4-1333 for DDR4-3200 or DDR5-5600 as §2.2 suggests).
+    pub fn with_device(mut self, node: NodeId, device: DeviceSpec) -> Result<Self> {
+        if node >= self.devices.len() {
+            return Err(SimError::UnknownNode(node));
+        }
+        self.devices[node] = device;
+        Ok(self)
+    }
+
+    /// Replaces the path from a socket to a node (used by ablations).
+    pub fn with_path(mut self, socket: SocketId, node: NodeId, path: Path) -> Self {
+        self.paths.insert((socket, node), path);
+        self
+    }
+
+    /// Sets the per-core MLP (used when modelling a different CPU).
+    pub fn with_core_mlp(mut self, mlp: f64) -> Self {
+        self.core_mlp = mlp.max(1.0);
+        self
+    }
+}
+
+/// Builder for [`Machine`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    topology: Topology,
+    devices: HashMap<NodeId, DeviceSpec>,
+    paths: HashMap<(SocketId, NodeId), Path>,
+    core_mlp: f64,
+}
+
+impl MachineBuilder {
+    /// Attaches a memory device to a NUMA node.
+    pub fn device(mut self, node: NodeId, device: DeviceSpec) -> Self {
+        self.devices.insert(node, device);
+        self
+    }
+
+    /// Defines the path from a socket to a node.
+    pub fn path(mut self, socket: SocketId, node: NodeId, path: Path) -> Self {
+        self.paths.insert((socket, node), path);
+        self
+    }
+
+    /// Sets per-core memory-level parallelism.
+    pub fn core_mlp(mut self, mlp: f64) -> Self {
+        self.core_mlp = mlp.max(1.0);
+        self
+    }
+
+    /// Finalises the machine, checking every node has a device and every
+    /// (socket, node) pair has a path.
+    pub fn build(self) -> Result<Machine> {
+        let nodes = self.topology.nodes().len();
+        let mut devices = Vec::with_capacity(nodes);
+        for node in 0..nodes {
+            match self.devices.get(&node) {
+                Some(d) => devices.push(d.clone()),
+                None => return Err(SimError::MissingDevice(node)),
+            }
+        }
+        for socket in 0..self.topology.sockets().len() {
+            for node in 0..nodes {
+                if !self.paths.contains_key(&(socket, node)) {
+                    return Err(SimError::MissingPath { socket, node });
+                }
+            }
+        }
+        Ok(Machine {
+            topology: self.topology,
+            devices,
+            paths: self.paths,
+            core_mlp: self.core_mlp,
+        })
+    }
+}
+
+/// Serde helper: HashMap with tuple keys is not representable in JSON maps, so
+/// paths are serialised as a list of `(socket, node, path)` entries.
+mod path_map_serde {
+    use super::*;
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+
+    pub fn serialize<S>(
+        map: &HashMap<(SocketId, NodeId), Path>,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        let mut entries: Vec<(SocketId, NodeId, Path)> = map
+            .iter()
+            .map(|(&(s, n), p)| (s, n, p.clone()))
+            .collect();
+        entries.sort_by_key(|(s, n, _)| (*s, *n));
+        serde::Serialize::serialize(&entries, serializer)
+    }
+
+    pub fn deserialize<'de, D>(
+        deserializer: D,
+    ) -> std::result::Result<HashMap<(SocketId, NodeId), Path>, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let entries: Vec<(SocketId, NodeId, Path)> = serde::Deserialize::deserialize(deserializer)?;
+        Ok(entries.into_iter().map(|(s, n, p)| ((s, n), p)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::machines;
+    use numa::topology::sapphire_rapids_cxl;
+
+    #[test]
+    fn builder_requires_all_devices() {
+        let topo = sapphire_rapids_cxl();
+        let err = Machine::builder(topo).build().unwrap_err();
+        assert_eq!(err, SimError::MissingDevice(0));
+    }
+
+    #[test]
+    fn builder_requires_all_paths() {
+        let topo = sapphire_rapids_cxl();
+        let err = Machine::builder(topo)
+            .device(0, DeviceSpec::ddr5_4800_single_dimm("d0"))
+            .device(1, DeviceSpec::ddr5_4800_single_dimm("d1"))
+            .device(2, DeviceSpec::cxl_prototype_ddr4_1333("cxl"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SimError::MissingPath { .. }));
+    }
+
+    #[test]
+    fn setup1_latency_ordering() {
+        let m = machines::sapphire_rapids_cxl_machine();
+        let local = m.access_latency_ns(0, 0).unwrap();
+        let remote = m.access_latency_ns(0, 1).unwrap();
+        let cxl = m.access_latency_ns(0, 2).unwrap();
+        assert!(local < remote, "local {local} >= remote {remote}");
+        assert!(remote < cxl, "remote {remote} >= cxl {cxl}");
+        // CXL load-to-use latency lands in the 350-450 ns window typical of
+        // FPGA prototypes.
+        assert!(cxl > 350.0 && cxl < 450.0, "cxl latency {cxl}");
+    }
+
+    #[test]
+    fn per_thread_bandwidth_decreases_with_distance() {
+        let m = machines::sapphire_rapids_cxl_machine();
+        let local = m
+            .per_thread_bandwidth_gbs(0, 0, AccessPattern::Sequential)
+            .unwrap();
+        let remote = m
+            .per_thread_bandwidth_gbs(0, 1, AccessPattern::Sequential)
+            .unwrap();
+        let cxl = m
+            .per_thread_bandwidth_gbs(0, 2, AccessPattern::Sequential)
+            .unwrap();
+        assert!(local > remote && remote > cxl);
+        // A single SPR core streams 6-10 GB/s from local DDR5.
+        assert!(local > 6.0 && local < 10.0, "local per-thread {local}");
+    }
+
+    #[test]
+    fn random_pattern_is_slower() {
+        let m = machines::sapphire_rapids_cxl_machine();
+        let seq = m
+            .per_thread_bandwidth_gbs(0, 0, AccessPattern::Sequential)
+            .unwrap();
+        let rnd = m
+            .per_thread_bandwidth_gbs(0, 0, AccessPattern::Random)
+            .unwrap();
+        assert!(rnd < seq);
+    }
+
+    #[test]
+    fn path_ceiling_for_cxl_is_the_prototype_limit() {
+        let m = machines::sapphire_rapids_cxl_machine();
+        let ceiling = m
+            .path_ceiling_gbs(0, 2, 1 << 30, 1 << 30, AccessPattern::Sequential)
+            .unwrap();
+        assert!((ceiling - cal::CXL_PROTOTYPE_CEILING_GBS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let m = machines::sapphire_rapids_cxl_machine();
+        assert!(m.check_capacity(2, 1 << 30).is_ok());
+        assert!(m.check_capacity(2, 1 << 60).is_err());
+    }
+
+    #[test]
+    fn unknown_cpu_and_node_are_rejected() {
+        let m = machines::sapphire_rapids_cxl_machine();
+        assert!(m.access_latency_ns(400, 0).is_err());
+        assert!(m.device(9).is_err());
+    }
+
+    #[test]
+    fn ablation_hooks_replace_device_and_path() {
+        let m = machines::sapphire_rapids_cxl_machine();
+        let faster = DeviceSpec::cxl_prototype_ddr4_1333("cxl-3200").scaled_bandwidth(2.4);
+        let m2 = m.clone().with_device(2, faster).unwrap();
+        assert!(m2.device(2).unwrap().read_bw_gbs > m.device(2).unwrap().read_bw_gbs);
+        let m3 = m2.with_path(0, 2, Path::through(vec![LinkSpec::pcie_gen6_x16_cxl()]));
+        assert!(m3.path(0, 2).unwrap().crosses(crate::link::LinkKind::PcieGen6x16));
+        assert!(m.clone().with_device(9, DeviceSpec::ddr5_4800_single_dimm("x")).is_err());
+    }
+}

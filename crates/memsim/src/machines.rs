@@ -1,0 +1,165 @@
+//! The paper's two physical setups as ready-made machine models, plus variants
+//! used by baselines and ablations.
+
+use crate::calibration as cal;
+use crate::device::DeviceSpec;
+use crate::link::{LinkSpec, Path};
+use crate::machine::Machine;
+use crate::units::GIB;
+use numa::topology::{sapphire_rapids_cxl, xeon_gold_ddr4};
+use numa::Topology;
+
+/// **Setup #1** (paper §2.1, Figure 2): dual Sapphire Rapids, one DDR5-4800
+/// DIMM per socket, CXL-attached DDR4-1333 expander on an Agilex-7 FPGA behind
+/// PCIe Gen5 x16, exposed as CPU-less NUMA node 2.
+pub fn sapphire_rapids_cxl_machine() -> Machine {
+    let topo = sapphire_rapids_cxl();
+    let cxl_path = || {
+        Path::through(vec![
+            LinkSpec::pcie_gen5_x16_cxl(),
+            LinkSpec::fpga_cxl_controller(),
+        ])
+    };
+    Machine::builder(topo)
+        .core_mlp(cal::SPR_CORE_MLP)
+        .device(0, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"))
+        .device(1, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"))
+        .device(2, DeviceSpec::cxl_prototype_ddr4_1333("CXL DDR4-1333 16GB (Agilex-7)"))
+        // Socket 0 paths.
+        .path(0, 0, Path::direct())
+        .path(0, 1, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
+        .path(0, 2, cxl_path())
+        // Socket 1 paths.
+        .path(1, 0, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
+        .path(1, 1, Path::direct())
+        .path(1, 2, cxl_path())
+        .build()
+        .expect("setup #1 machine description is complete")
+}
+
+/// **Setup #2** (paper §2.1, Figure 3): dual Xeon Gold 5215 with six DDR4-2666
+/// channels per socket and no CXL device.
+pub fn xeon_gold_ddr4_machine() -> Machine {
+    let topo = xeon_gold_ddr4();
+    Machine::builder(topo)
+        .core_mlp(cal::XEON_GOLD_CORE_MLP)
+        .device(0, DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket0"))
+        .device(1, DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket1"))
+        .path(0, 0, Path::direct())
+        .path(0, 1, Path::through(vec![LinkSpec::upi_xeon_gold()]))
+        .path(1, 0, Path::through(vec![LinkSpec::upi_xeon_gold()]))
+        .path(1, 1, Path::direct())
+        .build()
+        .expect("setup #2 machine description is complete")
+}
+
+/// A DCPMM-equipped variant of Setup #1 used for the headline comparison
+/// against published Optane numbers: node 2 is a single Optane DCPMM module on
+/// the local DDR-T bus of socket 0 instead of the CXL expander.
+pub fn sapphire_rapids_dcpmm_machine() -> Machine {
+    let topo = Topology::builder("sapphire-rapids-dcpmm")
+        .smt(2)
+        .node(64 * GIB, "DDR5-4800 socket0")
+        .node(64 * GIB, "DDR5-4800 socket1")
+        .node(128 * GIB, "Optane DCPMM 128GB (App-Direct region)")
+        .socket("Intel Xeon 4th Gen (Sapphire Rapids)", 2.1, 10, 0)
+        .socket("Intel Xeon 4th Gen (Sapphire Rapids)", 2.1, 10, 1)
+        .build()
+        .expect("static topology is valid");
+    Machine::builder(topo)
+        .core_mlp(cal::SPR_CORE_MLP)
+        .device(0, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"))
+        .device(1, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"))
+        .device(2, DeviceSpec::dcpmm_single_module("Optane DCPMM 128GB"))
+        .path(0, 0, Path::direct())
+        .path(0, 1, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
+        // DCPMM sits on socket 0's memory bus: direct from socket 0, one UPI
+        // hop from socket 1.
+        .path(0, 2, Path::direct())
+        .path(1, 0, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
+        .path(1, 1, Path::direct())
+        .path(1, 2, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
+        .build()
+        .expect("dcpmm machine description is complete")
+}
+
+/// An ablation variant of Setup #1 where the FPGA card is upgraded per the
+/// paper's §2.2 suggestions: `ddr_speed_factor` scales the on-card memory
+/// bandwidth (e.g. 3200/1333 ≈ 2.4 for DDR4-3200, 5600/1333 ≈ 4.2 for
+/// DDR5-5600) and `channels` multiplies the independent DDR channels.
+pub fn sapphire_rapids_cxl_upgraded(ddr_speed_factor: f64, channels: u32) -> Machine {
+    let base = sapphire_rapids_cxl_machine();
+    let upgraded_device = DeviceSpec::cxl_prototype_ddr4_1333(format!(
+        "CXL DDR x{channels}ch speed x{ddr_speed_factor:.1} (upgraded)"
+    ))
+    .scaled_bandwidth(ddr_speed_factor)
+    .with_channels(channels);
+    // A faster card also needs a faster controller ceiling: scale the soft-IP
+    // link proportionally but never beyond the PCIe Gen5 limit.
+    let controller_bw =
+        (cal::CXL_PROTOTYPE_CEILING_GBS * ddr_speed_factor * channels as f64).min(cal::PCIE_GEN5_X16_GBS);
+    let mut controller = LinkSpec::fpga_cxl_controller();
+    controller.bandwidth_gbs = controller_bw;
+    let path = Path::through(vec![LinkSpec::pcie_gen5_x16_cxl(), controller]);
+    base.with_device(2, upgraded_device)
+        .expect("node 2 exists")
+        .with_path(0, 2, path.clone())
+        .with_path(1, 2, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessPattern;
+
+    #[test]
+    fn setup1_has_three_nodes_and_cxl_device() {
+        let m = sapphire_rapids_cxl_machine();
+        assert_eq!(m.devices().len(), 3);
+        assert_eq!(m.device(2).unwrap().kind, crate::DeviceKind::CxlExpanderDram);
+        assert!(m.path(0, 2).unwrap().crosses(crate::LinkKind::PcieGen5x16));
+        assert!(m.path(0, 1).unwrap().crosses(crate::LinkKind::Upi));
+    }
+
+    #[test]
+    fn setup2_has_two_symmetric_nodes() {
+        let m = xeon_gold_ddr4_machine();
+        assert_eq!(m.devices().len(), 2);
+        let (d0, d1) = (m.device(0).unwrap(), m.device(1).unwrap());
+        assert_eq!(d0.kind, d1.kind);
+        assert!((d0.read_bw_gbs - d1.read_bw_gbs).abs() < 1e-9);
+        assert!((m.core_mlp() - cal::XEON_GOLD_CORE_MLP).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dcpmm_machine_is_local_to_socket0() {
+        let m = sapphire_rapids_dcpmm_machine();
+        assert!(m.path(0, 2).unwrap().links.is_empty());
+        assert!(!m.path(1, 2).unwrap().links.is_empty());
+        assert_eq!(m.device(2).unwrap().kind, crate::DeviceKind::Dcpmm);
+    }
+
+    #[test]
+    fn upgraded_cxl_card_is_faster() {
+        let base = sapphire_rapids_cxl_machine();
+        let upgraded = sapphire_rapids_cxl_upgraded(2.4, 4);
+        let base_ceiling = base
+            .path_ceiling_gbs(0, 2, 1 << 30, 1 << 30, AccessPattern::Sequential)
+            .unwrap();
+        let upgraded_ceiling = upgraded
+            .path_ceiling_gbs(0, 2, 1 << 30, 1 << 30, AccessPattern::Sequential)
+            .unwrap();
+        assert!(upgraded_ceiling > 2.0 * base_ceiling);
+        // But never beyond what PCIe Gen5 x16 can carry.
+        assert!(upgraded_ceiling <= cal::PCIE_GEN5_X16_GBS + 1e-9);
+    }
+
+    #[test]
+    fn cxl_per_thread_bandwidth_is_a_few_gbs() {
+        let m = sapphire_rapids_cxl_machine();
+        let bw = m
+            .per_thread_bandwidth_gbs(0, 2, AccessPattern::Sequential)
+            .unwrap();
+        assert!(bw > 1.0 && bw < 4.0, "per-thread CXL bandwidth {bw}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Traffic traces: an append-only record of simulated phases with aggregate
+//! statistics, used by the runtime's instrumentation and by the harness when
+//! explaining where time went.
+
+use crate::engine::PhaseReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A recorded sequence of phase reports plus running aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficTrace {
+    reports: Vec<PhaseReport>,
+}
+
+impl TrafficTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a phase report.
+    pub fn record(&mut self, report: PhaseReport) {
+        self.reports.push(report);
+    }
+
+    /// All recorded reports in order.
+    pub fn reports(&self) -> &[PhaseReport] {
+        &self.reports
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Total simulated time across all phases (seconds).
+    pub fn total_seconds(&self) -> f64 {
+        self.reports.iter().map(|r| r.seconds).sum()
+    }
+
+    /// Total payload bytes moved across all phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.reports.iter().map(|r| r.payload_bytes).sum()
+    }
+
+    /// Mean achieved bandwidth across phases, weighted by bytes (GB/s).
+    pub fn mean_bandwidth_gbs(&self) -> f64 {
+        let seconds = self.total_seconds();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / 1e9 / seconds
+    }
+
+    /// The best (highest-bandwidth) phase, if any.
+    pub fn best_phase(&self) -> Option<&PhaseReport> {
+        self.reports.iter().max_by(|a, b| {
+            a.bandwidth_gbs
+                .partial_cmp(&b.bandwidth_gbs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// How many phases each resource was the bottleneck of.
+    pub fn bottleneck_histogram(&self) -> BTreeMap<String, usize> {
+        let mut histogram = BTreeMap::new();
+        for report in &self.reports {
+            *histogram
+                .entry(report.bottleneck_resource.clone())
+                .or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Renders a compact text summary (one line per phase).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for report in &self.reports {
+            out.push_str(&format!(
+                "{:<32} {:>8.2} GB/s  {:>10.4} s  bottleneck: {}\n",
+                report.label, report.bandwidth_gbs, report.seconds, report.bottleneck_resource
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} phases, {:.3} s, mean {:.2} GB/s\n",
+            self.len(),
+            self.total_seconds(),
+            self.mean_bandwidth_gbs()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{ThreadTraffic, TrafficPhase};
+    use crate::engine::Engine;
+    use crate::machines::sapphire_rapids_cxl_machine;
+    use crate::units::GB;
+
+    fn sample_report(label: &str, node: usize, threads: usize) -> PhaseReport {
+        let engine = Engine::new(sapphire_rapids_cxl_machine());
+        let phase = TrafficPhase::from_threads(
+            label,
+            (0..threads).map(|t| ThreadTraffic::sequential(t, node, GB, GB / 2)),
+        );
+        engine.simulate(&phase).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_has_zero_aggregates() {
+        let trace = TrafficTrace::new();
+        assert!(trace.is_empty());
+        assert_eq!(trace.total_bytes(), 0);
+        assert_eq!(trace.mean_bandwidth_gbs(), 0.0);
+        assert!(trace.best_phase().is_none());
+    }
+
+    #[test]
+    fn aggregates_accumulate() {
+        let mut trace = TrafficTrace::new();
+        trace.record(sample_report("local", 0, 4));
+        trace.record(sample_report("cxl", 2, 4));
+        assert_eq!(trace.len(), 2);
+        assert!(trace.total_seconds() > 0.0);
+        assert!(trace.total_bytes() > 0);
+        assert!(trace.mean_bandwidth_gbs() > 0.0);
+    }
+
+    #[test]
+    fn best_phase_is_the_local_one() {
+        let mut trace = TrafficTrace::new();
+        trace.record(sample_report("local", 0, 8));
+        trace.record(sample_report("cxl", 2, 8));
+        assert_eq!(trace.best_phase().unwrap().label, "local");
+    }
+
+    #[test]
+    fn bottleneck_histogram_counts_phases() {
+        let mut trace = TrafficTrace::new();
+        trace.record(sample_report("cxl-1", 2, 8));
+        trace.record(sample_report("cxl-2", 2, 8));
+        let histogram = trace.bottleneck_histogram();
+        assert_eq!(histogram.values().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn render_mentions_every_phase() {
+        let mut trace = TrafficTrace::new();
+        trace.record(sample_report("alpha", 0, 2));
+        trace.record(sample_report("beta", 1, 2));
+        let text = trace.render();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("total: 2 phases"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Small unit helpers shared by the simulator and the harness.
+//!
+//! STREAM reports bandwidth in decimal GB/s (1 GB = 1e9 bytes), which is the
+//! convention the paper follows; capacities are reported in binary GiB.
+
+/// Bytes in a binary kibibyte.
+pub const KIB: u64 = 1024;
+/// Bytes in a binary mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// Bytes in a binary gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+/// Bytes in a decimal gigabyte (the STREAM/`GB/s` convention).
+pub const GB: u64 = 1_000_000_000;
+/// Cache-line size in bytes on all modelled CPUs.
+pub const CACHE_LINE: u64 = 64;
+
+/// Converts bytes and seconds into decimal GB/s.
+pub fn gbs(bytes: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / GB as f64 / seconds
+}
+
+/// Converts a bandwidth in GB/s into bytes per nanosecond.
+pub fn gbs_to_bytes_per_ns(gbs: f64) -> f64 {
+    gbs
+}
+
+/// Converts nanoseconds into seconds.
+pub fn ns_to_s(ns: f64) -> f64 {
+    ns * 1e-9
+}
+
+/// Converts seconds into nanoseconds.
+pub fn s_to_ns(s: f64) -> f64 {
+    s * 1e9
+}
+
+/// Pretty-prints a byte count with a binary suffix.
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= GIB {
+        format!("{:.1} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gbs_matches_stream_convention() {
+        // 10 GB moved in 1 second = 10 GB/s.
+        assert!((gbs(10 * GB, 1.0) - 10.0).abs() < 1e-12);
+        // Zero or negative time yields zero instead of infinity.
+        assert_eq!(gbs(GB, 0.0), 0.0);
+        assert_eq!(gbs(GB, -1.0), 0.0);
+    }
+
+    #[test]
+    fn gb_and_gib_differ() {
+        assert!(GIB > GB);
+        assert_eq!(GIB, 1_073_741_824);
+    }
+
+    #[test]
+    fn ns_round_trip() {
+        let s = 0.25;
+        assert!((ns_to_s(s_to_ns(s)) - s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn human_bytes_selects_suffix() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2 * KIB), "2.0 KiB");
+        assert_eq!(human_bytes(3 * MIB), "3.0 MiB");
+        assert_eq!(human_bytes(4 * GIB), "4.0 GiB");
+    }
+
+    #[test]
+    fn gbs_equals_bytes_per_ns() {
+        // 1 GB/s is 1 byte per nanosecond by definition of decimal units.
+        assert!((gbs_to_bytes_per_ns(5.0) - 5.0).abs() < 1e-12);
+    }
+}

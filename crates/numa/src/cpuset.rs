@@ -1,0 +1,318 @@
+//! A compact bit-set of logical CPUs, mirroring `cpu_set_t`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of logical CPUs a [`CpuSet`] can describe.
+///
+/// 1024 matches the glibc `CPU_SETSIZE` default and is far beyond the 40
+/// hardware threads of the paper's larger setup.
+pub const MAX_CPUS: usize = 1024;
+
+const WORDS: usize = MAX_CPUS / 64;
+
+/// A fixed-size bit-set of logical CPU ids.
+///
+/// The set is `Copy`-cheap on purpose: affinity masks are passed around freely
+/// by the placement code and the STREAM runner.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuSet {
+    words: [u64; WORDS],
+}
+
+impl Default for CpuSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CpuSet {
+    /// Creates an empty CPU set.
+    pub const fn new() -> Self {
+        CpuSet { words: [0; WORDS] }
+    }
+
+    /// Creates a set containing every CPU in `0..n`.
+    pub fn first_n(n: usize) -> Self {
+        let mut set = Self::new();
+        for cpu in 0..n.min(MAX_CPUS) {
+            set.insert(cpu);
+        }
+        set
+    }
+
+    /// Creates a set from an iterator of CPU ids. Ids `>= MAX_CPUS` are ignored.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut set = Self::new();
+        for cpu in iter {
+            set.insert(cpu);
+        }
+        set
+    }
+
+    /// Adds a CPU to the set. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, cpu: usize) -> bool {
+        if cpu >= MAX_CPUS {
+            return false;
+        }
+        let (w, b) = (cpu / 64, cpu % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes a CPU from the set. Returns `true` if it was present.
+    pub fn remove(&mut self, cpu: usize) -> bool {
+        if cpu >= MAX_CPUS {
+            return false;
+        }
+        let (w, b) = (cpu / 64, cpu % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Returns `true` if the CPU is in the set.
+    pub fn contains(&self, cpu: usize) -> bool {
+        if cpu >= MAX_CPUS {
+            return false;
+        }
+        self.words[cpu / 64] & (1 << (cpu % 64)) != 0
+    }
+
+    /// Number of CPUs in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if the set contains no CPUs.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &CpuSet) -> CpuSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &CpuSet) -> CpuSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+        out
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn difference(&self, other: &CpuSet) -> CpuSet {
+        let mut out = *self;
+        for (a, b) in out.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+        out
+    }
+
+    /// Returns `true` if every CPU of `other` is also in `self`.
+    pub fn is_superset(&self, other: &CpuSet) -> bool {
+        self.intersection(other) == *other
+    }
+
+    /// Iterates over the CPU ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..MAX_CPUS).filter(move |&cpu| self.contains(cpu))
+    }
+
+    /// Lowest CPU id in the set, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Highest CPU id in the set, if any.
+    pub fn last(&self) -> Option<usize> {
+        (0..MAX_CPUS).rev().find(|&cpu| self.contains(cpu))
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuSet{{{}}}", self.to_list_string())
+    }
+}
+
+impl CpuSet {
+    /// Renders the set in `numactl`/`taskset` list syntax, e.g. `0-9,20-29`.
+    pub fn to_list_string(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut run: Option<(usize, usize)> = None;
+        for cpu in self.iter() {
+            match run {
+                Some((start, end)) if cpu == end + 1 => run = Some((start, cpu)),
+                Some((start, end)) => {
+                    parts.push(render_run(start, end));
+                    run = Some((cpu, cpu));
+                }
+                None => run = Some((cpu, cpu)),
+            }
+        }
+        if let Some((start, end)) = run {
+            parts.push(render_run(start, end));
+        }
+        parts.join(",")
+    }
+
+    /// Parses `numactl`/`taskset` list syntax, e.g. `0-9,20-29`.
+    pub fn parse_list(s: &str) -> Option<CpuSet> {
+        let mut set = CpuSet::new();
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Some(set);
+        }
+        for part in trimmed.split(',') {
+            let part = part.trim();
+            if let Some((a, b)) = part.split_once('-') {
+                let a: usize = a.trim().parse().ok()?;
+                let b: usize = b.trim().parse().ok()?;
+                if a > b || b >= MAX_CPUS {
+                    return None;
+                }
+                for cpu in a..=b {
+                    set.insert(cpu);
+                }
+            } else {
+                let cpu: usize = part.parse().ok()?;
+                if cpu >= MAX_CPUS {
+                    return None;
+                }
+                set.insert(cpu);
+            }
+        }
+        Some(set)
+    }
+}
+
+fn render_run(start: usize, end: usize) -> String {
+    if start == end {
+        format!("{start}")
+    } else {
+        format!("{start}-{end}")
+    }
+}
+
+impl FromIterator<usize> for CpuSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        CpuSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_set_has_no_cpus() {
+        let set = CpuSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.first(), None);
+        assert_eq!(set.last(), None);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut set = CpuSet::new();
+        assert!(set.insert(5));
+        assert!(!set.insert(5));
+        assert!(set.contains(5));
+        assert!(!set.contains(4));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn remove_round_trip() {
+        let mut set = CpuSet::first_n(10);
+        assert!(set.remove(3));
+        assert!(!set.remove(3));
+        assert!(!set.contains(3));
+        assert_eq!(set.len(), 9);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_ignored() {
+        let mut set = CpuSet::new();
+        assert!(!set.insert(MAX_CPUS));
+        assert!(!set.contains(MAX_CPUS + 5));
+        assert!(!set.remove(MAX_CPUS));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = CpuSet::from_iter(0..10);
+        let b = CpuSet::from_iter(5..15);
+        assert_eq!(a.union(&b).len(), 15);
+        assert_eq!(a.intersection(&b).len(), 5);
+        assert_eq!(a.difference(&b).len(), 5);
+        assert!(a.union(&b).is_superset(&a));
+        assert!(a.union(&b).is_superset(&b));
+    }
+
+    #[test]
+    fn list_string_round_trip() {
+        let set = CpuSet::from_iter([0, 1, 2, 3, 10, 12, 13, 20]);
+        let s = set.to_list_string();
+        assert_eq!(s, "0-3,10,12-13,20");
+        assert_eq!(CpuSet::parse_list(&s), Some(set));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CpuSet::parse_list("3-1").is_none());
+        assert!(CpuSet::parse_list("a-b").is_none());
+        assert!(CpuSet::parse_list("99999").is_none());
+        assert_eq!(CpuSet::parse_list(""), Some(CpuSet::new()));
+    }
+
+    #[test]
+    fn iter_is_sorted_ascending() {
+        let set = CpuSet::from_iter([9, 1, 4, 2]);
+        let ids: Vec<_> = set.iter().collect();
+        assert_eq!(ids, vec![1, 2, 4, 9]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_list_round_trip(ids in proptest::collection::btree_set(0usize..256, 0..64)) {
+            let set = CpuSet::from_iter(ids.iter().copied());
+            let rendered = set.to_list_string();
+            prop_assert_eq!(CpuSet::parse_list(&rendered), Some(set));
+            prop_assert_eq!(set.len(), ids.len());
+        }
+
+        #[test]
+        fn prop_union_contains_both(a in proptest::collection::vec(0usize..256, 0..32),
+                                    b in proptest::collection::vec(0usize..256, 0..32)) {
+            let sa = CpuSet::from_iter(a.iter().copied());
+            let sb = CpuSet::from_iter(b.iter().copied());
+            let u = sa.union(&sb);
+            for &cpu in a.iter().chain(b.iter()) {
+                prop_assert!(u.contains(cpu));
+            }
+            prop_assert!(u.len() <= sa.len() + sb.len());
+        }
+
+        #[test]
+        fn prop_difference_disjoint_from_other(a in proptest::collection::vec(0usize..128, 0..32),
+                                               b in proptest::collection::vec(0usize..128, 0..32)) {
+            let sa = CpuSet::from_iter(a);
+            let sb = CpuSet::from_iter(b);
+            let d = sa.difference(&sb);
+            prop_assert!(d.intersection(&sb).is_empty());
+            prop_assert!(sa.is_superset(&d));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! NUMA topology modelling, CPU sets, thread affinity and memory-binding policies.
+//!
+//! The evaluation in *CXL Memory as Persistent Memory for Disaggregated HPC*
+//! (SC'23) is entirely organised around **where threads run** and **where memory
+//! lives**: compute cores on socket 0, socket 1 or both, memory on the local
+//! socket, the remote socket, or the CXL-attached expander (exposed as a
+//! CPU-less NUMA node), with `numactl --membind` selecting the node and
+//! OpenMP-style *close*/*spread* affinities selecting the thread placement.
+//!
+//! This crate provides those concepts as a small, dependency-free model that the
+//! rest of the workspace (the memory simulator, the persistent-memory runtime and
+//! the STREAM harness) builds on:
+//!
+//! * [`topology::Topology`] — sockets, cores, hardware threads and NUMA nodes,
+//!   including CPU-less memory-only nodes (the CXL expander appears exactly like
+//!   that on real Sapphire Rapids + CXL systems).
+//! * [`cpuset::CpuSet`] — a compact bit-set of logical CPUs, mirroring
+//!   `cpu_set_t` / `hwloc` bitmaps.
+//! * [`affinity`] — *close* and *spread* thread-placement policies as described
+//!   in §3.2 of the paper (test group 1.(c)).
+//! * [`policy::MemBindPolicy`] — `membind` / `interleave` / `preferred`
+//!   equivalents of `numactl`.
+//! * [`pool::PinnedPool`] — a thread pool whose workers carry a logical core
+//!   binding, used by the STREAM runner so that each software thread is
+//!   attributed to a specific core of the simulated machine.
+//!
+//! Nothing in this crate touches the operating system scheduler: bindings are
+//! *logical*. They drive the analytical memory simulator (`memsim`), which is the
+//! substitution this reproduction makes for the paper's physical testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod cpuset;
+pub mod distance;
+pub mod error;
+pub mod policy;
+pub mod pool;
+pub mod topology;
+
+pub use affinity::{AffinityPolicy, ThreadPlacement};
+pub use cpuset::CpuSet;
+pub use distance::DistanceMatrix;
+pub use error::NumaError;
+pub use policy::MemBindPolicy;
+pub use pool::{PinnedPool, WorkerCtx};
+pub use topology::{Core, CoreId, NodeId, NumaNode, Socket, SocketId, Topology};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, NumaError>;

@@ -1,0 +1,219 @@
+//! Memory-binding policies — the `numactl` side of the evaluation.
+//!
+//! The paper's Memory-Mode experiments (§3.2, class 2) are plain STREAM runs
+//! under `numactl --membind={0,1,2}`; the App-Direct experiments open a PMDK
+//! pool on `/mnt/pmem{0,1,2}`. Either way every allocation ends up on exactly
+//! one NUMA node (or is interleaved across a set of nodes). This module models
+//! that decision.
+
+use crate::error::NumaError;
+use crate::topology::{NodeId, Topology};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Where allocations are placed, mirroring `numactl` options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemBindPolicy {
+    /// First-touch local allocation: memory lands on the node of the CPU that
+    /// first touches the page (Linux default).
+    LocalAlloc,
+    /// `numactl --membind=N`: all allocations on node `N`, fail if it is full.
+    Bind(NodeId),
+    /// `numactl --interleave=N0,N1,...`: pages round-robin across the nodes.
+    Interleave(Vec<NodeId>),
+    /// `numactl --preferred=N`: prefer node `N`, overflow to the nearest node.
+    Preferred(NodeId),
+}
+
+impl MemBindPolicy {
+    /// Convenience constructor for `--membind`.
+    pub fn bind(node: NodeId) -> Self {
+        MemBindPolicy::Bind(node)
+    }
+
+    /// Label used by harness legends — matches the paper's `numa#N` notation.
+    pub fn label(&self) -> String {
+        match self {
+            MemBindPolicy::LocalAlloc => "local".to_string(),
+            MemBindPolicy::Bind(n) => format!("membind={n}"),
+            MemBindPolicy::Interleave(ns) => format!(
+                "interleave={}",
+                ns.iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            MemBindPolicy::Preferred(n) => format!("preferred={n}"),
+        }
+    }
+
+    /// Validates the policy against a topology (all referenced nodes exist,
+    /// interleave sets are non-empty).
+    pub fn validate(&self, topo: &Topology) -> Result<()> {
+        match self {
+            MemBindPolicy::LocalAlloc => Ok(()),
+            MemBindPolicy::Bind(n) | MemBindPolicy::Preferred(n) => {
+                topo.node(*n).map(|_| ())
+            }
+            MemBindPolicy::Interleave(ns) => {
+                if ns.is_empty() {
+                    return Err(NumaError::EmptyNodeSet);
+                }
+                for &n in ns {
+                    topo.node(n)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves the node that byte-range page `page_index` of an allocation
+    /// made by a thread running on `cpu` would land on.
+    ///
+    /// `page_index` only matters for interleaved policies.
+    pub fn resolve(&self, topo: &Topology, cpu: usize, page_index: usize) -> Result<NodeId> {
+        self.validate(topo)?;
+        match self {
+            MemBindPolicy::LocalAlloc => topo
+                .node_of_cpu(cpu)
+                .ok_or(NumaError::UnknownCore(cpu)),
+            MemBindPolicy::Bind(n) => Ok(*n),
+            MemBindPolicy::Preferred(n) => Ok(*n),
+            MemBindPolicy::Interleave(ns) => Ok(ns[page_index % ns.len()]),
+        }
+    }
+
+    /// Distribution of an allocation of `pages` pages over nodes, as
+    /// `(node, pages_on_node)` pairs. Used by the Memory-Mode expansion model
+    /// where a data set larger than local DRAM spills onto the CXL node.
+    pub fn distribution(
+        &self,
+        topo: &Topology,
+        cpu: usize,
+        pages: usize,
+    ) -> Result<Vec<(NodeId, usize)>> {
+        self.validate(topo)?;
+        match self {
+            MemBindPolicy::Interleave(ns) => {
+                let mut out: Vec<(NodeId, usize)> = ns.iter().map(|&n| (n, 0)).collect();
+                for page in 0..pages {
+                    out[page % ns.len()].1 += 1;
+                }
+                Ok(out.into_iter().filter(|(_, p)| *p > 0).collect())
+            }
+            _ => {
+                let node = self.resolve(topo, cpu, 0)?;
+                if pages == 0 {
+                    Ok(vec![])
+                } else {
+                    Ok(vec![(node, pages)])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::sapphire_rapids_cxl;
+    use proptest::prelude::*;
+
+    #[test]
+    fn local_alloc_follows_cpu() {
+        let topo = sapphire_rapids_cxl();
+        let p = MemBindPolicy::LocalAlloc;
+        assert_eq!(p.resolve(&topo, 0, 0).unwrap(), 0);
+        assert_eq!(p.resolve(&topo, 15, 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn bind_ignores_cpu() {
+        let topo = sapphire_rapids_cxl();
+        let p = MemBindPolicy::bind(2);
+        assert_eq!(p.resolve(&topo, 0, 0).unwrap(), 2);
+        assert_eq!(p.resolve(&topo, 19, 7).unwrap(), 2);
+    }
+
+    #[test]
+    fn bind_to_missing_node_fails() {
+        let topo = sapphire_rapids_cxl();
+        let p = MemBindPolicy::bind(9);
+        assert!(p.resolve(&topo, 0, 0).is_err());
+        assert!(p.validate(&topo).is_err());
+    }
+
+    #[test]
+    fn interleave_round_robins() {
+        let topo = sapphire_rapids_cxl();
+        let p = MemBindPolicy::Interleave(vec![0, 2]);
+        assert_eq!(p.resolve(&topo, 0, 0).unwrap(), 0);
+        assert_eq!(p.resolve(&topo, 0, 1).unwrap(), 2);
+        assert_eq!(p.resolve(&topo, 0, 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_interleave_rejected() {
+        let topo = sapphire_rapids_cxl();
+        let p = MemBindPolicy::Interleave(vec![]);
+        assert_eq!(p.validate(&topo).unwrap_err(), NumaError::EmptyNodeSet);
+    }
+
+    #[test]
+    fn distribution_sums_to_pages() {
+        let topo = sapphire_rapids_cxl();
+        let p = MemBindPolicy::Interleave(vec![0, 1, 2]);
+        let dist = p.distribution(&topo, 0, 10).unwrap();
+        let total: usize = dist.iter().map(|(_, p)| p).sum();
+        assert_eq!(total, 10);
+        assert_eq!(dist.len(), 3);
+    }
+
+    #[test]
+    fn distribution_of_bound_policy_is_single_node() {
+        let topo = sapphire_rapids_cxl();
+        let dist = MemBindPolicy::bind(2).distribution(&topo, 0, 100).unwrap();
+        assert_eq!(dist, vec![(2, 100)]);
+        let empty = MemBindPolicy::bind(2).distribution(&topo, 0, 0).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn labels_match_numactl_syntax() {
+        assert_eq!(MemBindPolicy::bind(2).label(), "membind=2");
+        assert_eq!(
+            MemBindPolicy::Interleave(vec![0, 2]).label(),
+            "interleave=0,2"
+        );
+        assert_eq!(MemBindPolicy::Preferred(1).label(), "preferred=1");
+        assert_eq!(MemBindPolicy::LocalAlloc.label(), "local");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interleave_distribution_is_balanced(pages in 1usize..10_000) {
+            let topo = sapphire_rapids_cxl();
+            let p = MemBindPolicy::Interleave(vec![0, 1, 2]);
+            let dist = p.distribution(&topo, 0, pages).unwrap();
+            let counts: Vec<usize> = dist.iter().map(|(_, c)| *c).collect();
+            let max = counts.iter().max().unwrap();
+            let min = counts.iter().min().unwrap();
+            prop_assert!(max - min <= 1);
+            prop_assert_eq!(counts.iter().sum::<usize>(), pages);
+        }
+
+        #[test]
+        fn prop_resolve_always_returns_valid_node(cpu in 0usize..40, page in 0usize..64) {
+            let topo = sapphire_rapids_cxl();
+            for policy in [
+                MemBindPolicy::LocalAlloc,
+                MemBindPolicy::bind(2),
+                MemBindPolicy::Preferred(1),
+                MemBindPolicy::Interleave(vec![0, 1, 2]),
+            ] {
+                let node = policy.resolve(&topo, cpu, page).unwrap();
+                prop_assert!(topo.node(node).is_ok());
+            }
+        }
+    }
+}

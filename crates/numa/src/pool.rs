@@ -1,0 +1,314 @@
+//! A thread pool whose workers carry a logical CPU binding.
+//!
+//! The STREAM runner needs OpenMP-like semantics: N worker threads, each bound
+//! to a specific logical CPU, executing the same kernel over disjoint chunks and
+//! meeting at a barrier. [`PinnedPool`] provides exactly that. The binding is
+//! *logical* — it is recorded and passed to the worker closure so that the
+//! memory simulator can attribute the worker's traffic to the right core — but
+//! the pool also exercises real OS threads so the kernels genuinely run in
+//! parallel on the host.
+
+use crate::affinity::ThreadPlacement;
+use crate::topology::Topology;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Context handed to every worker closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerCtx {
+    /// Index of the worker thread (0-based, dense).
+    pub thread: usize,
+    /// Logical CPU this worker is bound to.
+    pub cpu: usize,
+    /// Socket of that CPU.
+    pub socket: usize,
+    /// NUMA node of that CPU.
+    pub node: usize,
+    /// Total number of workers participating.
+    pub nthreads: usize,
+}
+
+impl WorkerCtx {
+    /// Splits `len` items into this worker's contiguous `[start, end)` chunk,
+    /// distributing the remainder over the first workers (OpenMP static
+    /// scheduling with chunk size `len / nthreads`).
+    pub fn chunk(&self, len: usize) -> (usize, usize) {
+        chunk_for(self.thread, self.nthreads, len)
+    }
+}
+
+/// Computes the static-schedule chunk `[start, end)` of worker `thread` out of
+/// `nthreads` over `len` items.
+pub fn chunk_for(thread: usize, nthreads: usize, len: usize) -> (usize, usize) {
+    if nthreads == 0 || thread >= nthreads {
+        return (0, 0);
+    }
+    let base = len / nthreads;
+    let rem = len % nthreads;
+    let start = thread * base + thread.min(rem);
+    let extra = usize::from(thread < rem);
+    (start, start + base + extra)
+}
+
+/// A pool of logically pinned workers created from a [`ThreadPlacement`].
+#[derive(Debug)]
+pub struct PinnedPool {
+    workers: Vec<WorkerCtx>,
+}
+
+impl PinnedPool {
+    /// Builds a pool from a placement over a topology.
+    pub fn new(topo: &Topology, placement: &ThreadPlacement) -> Self {
+        let n = placement.len();
+        let workers = placement
+            .cpus()
+            .iter()
+            .enumerate()
+            .map(|(thread, &cpu)| WorkerCtx {
+                thread,
+                cpu,
+                socket: topo.socket_of_cpu(cpu).unwrap_or(0),
+                node: topo.node_of_cpu(cpu).unwrap_or(0),
+                nthreads: n,
+            })
+            .collect();
+        PinnedPool { workers }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Returns `true` when the pool has no workers.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Worker contexts in thread order.
+    pub fn workers(&self) -> &[WorkerCtx] {
+        &self.workers
+    }
+
+    /// Runs `f` once per worker **in parallel** on real OS threads and collects
+    /// the return values in thread order.
+    ///
+    /// `f` must be `Sync` because all workers borrow it concurrently.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(WorkerCtx) -> R + Sync,
+    {
+        if self.workers.is_empty() {
+            return Vec::new();
+        }
+        let mut results: Vec<Option<R>> = (0..self.workers.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers.len());
+            for (slot, ctx) in results.iter_mut().zip(self.workers.iter().copied()) {
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    *slot = Some(f(ctx));
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("pinned worker panicked");
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("worker produced a result"))
+            .collect()
+    }
+
+    /// Runs `f` once per worker sequentially (deterministic order). Useful for
+    /// tests and for driving the analytical simulator where real parallelism
+    /// adds nothing.
+    pub fn run_sequential<R, F>(&self, mut f: F) -> Vec<R>
+    where
+        F: FnMut(WorkerCtx) -> R,
+    {
+        self.workers.iter().copied().map(&mut f).collect()
+    }
+}
+
+/// A reusable barrier + shared accumulator used by multi-phase kernels.
+///
+/// STREAM repeats each kernel `ntimes` times with an implicit barrier between
+/// repetitions; [`PhaseAccumulator`] gives workers a place to publish their
+/// per-phase timings without locking on the hot path (only on phase end).
+#[derive(Debug)]
+pub struct PhaseAccumulator {
+    phases: Mutex<Vec<Vec<f64>>>,
+    completed: AtomicUsize,
+}
+
+impl PhaseAccumulator {
+    /// Creates an accumulator for `nthreads` workers.
+    pub fn new() -> Arc<Self> {
+        Arc::new(PhaseAccumulator {
+            phases: Mutex::new(Vec::new()),
+            completed: AtomicUsize::new(0),
+        })
+    }
+
+    /// Records one worker's measurement for phase `phase`.
+    pub fn record(&self, phase: usize, value: f64) {
+        let mut phases = self.phases.lock();
+        while phases.len() <= phase {
+            phases.push(Vec::new());
+        }
+        phases[phase].push(value);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples across all phases.
+    pub fn samples(&self) -> usize {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// The maximum recorded value of a phase (e.g. the slowest worker's time),
+    /// if the phase has any samples.
+    pub fn phase_max(&self, phase: usize) -> Option<f64> {
+        let phases = self.phases.lock();
+        phases
+            .get(phase)?
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+    }
+
+    /// The mean recorded value of a phase.
+    pub fn phase_mean(&self, phase: usize) -> Option<f64> {
+        let phases = self.phases.lock();
+        let values = phases.get(phase)?;
+        if values.is_empty() {
+            return None;
+        }
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affinity::AffinityPolicy;
+    use crate::topology::sapphire_rapids_cxl;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn pool(threads: usize) -> (Topology, PinnedPool) {
+        let topo = sapphire_rapids_cxl();
+        let placement = AffinityPolicy::close().place(&topo, threads).unwrap();
+        let pool = PinnedPool::new(&topo, &placement);
+        (topo, pool)
+    }
+
+    #[test]
+    fn workers_carry_correct_socket_and_node() {
+        let (_, pool) = pool(12);
+        assert_eq!(pool.len(), 12);
+        assert_eq!(pool.workers()[0].socket, 0);
+        assert_eq!(pool.workers()[0].node, 0);
+        assert_eq!(pool.workers()[11].socket, 1);
+        assert_eq!(pool.workers()[11].node, 1);
+    }
+
+    #[test]
+    fn run_executes_every_worker_in_parallel() {
+        let (_, pool) = pool(8);
+        let counter = AtomicUsize::new(0);
+        let results = pool.run(|ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.thread * 10
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_sequential_matches_parallel_results() {
+        let (_, pool) = pool(5);
+        let par = pool.run(|ctx| ctx.cpu);
+        let seq = pool.run_sequential(|ctx| ctx.cpu);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_pool_runs_nothing() {
+        let (_, pool) = pool(0);
+        assert!(pool.is_empty());
+        let out: Vec<usize> = pool.run(|_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunks_cover_range_without_overlap() {
+        let (_, pool) = pool(7);
+        let len = 1003;
+        let chunks = pool.run_sequential(|ctx| ctx.chunk(len));
+        let mut covered = 0usize;
+        for (i, &(start, end)) in chunks.iter().enumerate() {
+            assert!(start <= end);
+            covered += end - start;
+            if i > 0 {
+                assert_eq!(chunks[i - 1].1, start, "chunks must be contiguous");
+            }
+        }
+        assert_eq!(covered, len);
+        assert_eq!(chunks.first().unwrap().0, 0);
+        assert_eq!(chunks.last().unwrap().1, len);
+    }
+
+    #[test]
+    fn chunk_for_degenerate_cases() {
+        assert_eq!(chunk_for(0, 0, 100), (0, 0));
+        assert_eq!(chunk_for(5, 3, 100), (0, 0));
+        assert_eq!(chunk_for(0, 1, 0), (0, 0));
+        assert_eq!(chunk_for(0, 4, 2), (0, 1));
+        assert_eq!(chunk_for(3, 4, 2), (2, 2));
+    }
+
+    #[test]
+    fn phase_accumulator_tracks_max_and_mean() {
+        let acc = PhaseAccumulator::new();
+        acc.record(0, 1.0);
+        acc.record(0, 3.0);
+        acc.record(1, 5.0);
+        assert_eq!(acc.samples(), 3);
+        assert_eq!(acc.phase_max(0), Some(3.0));
+        assert_eq!(acc.phase_mean(0), Some(2.0));
+        assert_eq!(acc.phase_max(1), Some(5.0));
+        assert_eq!(acc.phase_max(2), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_chunks_partition_any_length(nthreads in 1usize..32, len in 0usize..10_000) {
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for t in 0..nthreads {
+                let (start, end) = chunk_for(t, nthreads, len);
+                prop_assert_eq!(start, prev_end);
+                prop_assert!(end >= start);
+                covered += end - start;
+                prev_end = end;
+            }
+            prop_assert_eq!(covered, len);
+            prop_assert_eq!(prev_end, len);
+        }
+
+        #[test]
+        fn prop_chunk_sizes_differ_by_at_most_one(nthreads in 1usize..32, len in 0usize..10_000) {
+            let sizes: Vec<usize> = (0..nthreads)
+                .map(|t| { let (s, e) = chunk_for(t, nthreads, len); e - s })
+                .collect();
+            let max = sizes.iter().max().unwrap();
+            let min = sizes.iter().min().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

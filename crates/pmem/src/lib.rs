@@ -1,0 +1,53 @@
+//! A PMDK-style persistent object store.
+//!
+//! The paper's App-Direct experiments replace STREAM's static arrays with
+//! `libpmemobj` allocations: a pool is created (or reopened) on a DAX
+//! filesystem (`/mnt/pmem{0,1,2}`), the three arrays are `POBJ_ALLOC`ed from
+//! it, and all updates can be wrapped in transactions so that "either all of
+//! the modifications are successfully applied or none of them take effect"
+//! (§1.4, Listing 2). This crate rebuilds that programming model from scratch:
+//!
+//! * [`pool::PmemPool`] — pool create/open with a checksummed header and a
+//!   layout name, a root object, and close/reopen semantics.
+//! * [`alloc`] — a persistent heap allocator whose block headers live *inside*
+//!   the pool, so the heap state survives restarts and is recovered by
+//!   scanning.
+//! * [`oid::PmemOid`] / [`oid::TypedOid`] — pool-relative object identifiers,
+//!   the equivalent of `PMEMoid` / `TOID(type)`.
+//! * [`tx`] — undo-log transactions with crash injection: `tx_begin`,
+//!   `add_range`, `commit`, `abort`, and recovery on pool open.
+//! * [`array::PersistentArray`] — typed persistent arrays (the STREAM-PMem
+//!   `a`, `b`, `c` vectors).
+//! * [`persist`] — flush/drain primitives with instrumentation counters, the
+//!   stand-ins for `CLWB`/`SFENCE` (or the `pmem_persist` libpmem call).
+//! * [`backend`] — where the bytes actually live: a volatile buffer, a file
+//!   (the DAX-filesystem stand-in), or any caller-provided store such as the
+//!   CXL Type-3 endpoint from the `cxl` crate (wired up in `cxl-pmem`).
+//!
+//! The store is **functional**: bytes really are written, checksums really are
+//! validated, transactions really roll back after a simulated crash. What is
+//! *not* claimed is cycle-accurate performance — timing belongs to `memsim`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod array;
+pub mod backend;
+pub mod error;
+pub mod oid;
+pub mod persist;
+pub mod pool;
+pub mod tx;
+
+pub use alloc::AllocStats;
+pub use array::PersistentArray;
+pub use backend::{FileBackend, PoolBackend, SharedBackend, VolatileBackend};
+pub use error::PmemError;
+pub use oid::{PmemOid, TypedOid};
+pub use persist::PersistStats;
+pub use pool::{PmemPool, PoolConfig};
+pub use tx::{CrashPoint, Transaction};
+
+/// Result alias for persistent-memory operations.
+pub type Result<T> = std::result::Result<T, PmemError>;

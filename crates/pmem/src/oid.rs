@@ -1,0 +1,147 @@
+//! Object identifiers — the equivalents of PMDK's `PMEMoid` and `TOID(type)`.
+//!
+//! A persistent pointer cannot be a raw address: the pool may be mapped at a
+//! different address (or opened by a different process, or served by a device)
+//! every time. PMDK therefore represents object references as
+//! `(pool uuid, offset)` pairs; typed wrappers add compile-time element types.
+
+use serde::{Deserialize, Serialize};
+use std::marker::PhantomData;
+
+/// An untyped persistent object identifier: pool UUID + offset within the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PmemOid {
+    /// UUID of the pool the object lives in.
+    pub pool_uuid: u64,
+    /// Byte offset of the object's payload within the pool.
+    pub offset: u64,
+}
+
+impl PmemOid {
+    /// The null object id (`OID_NULL`).
+    pub const NULL: PmemOid = PmemOid {
+        pool_uuid: 0,
+        offset: 0,
+    };
+
+    /// Creates an oid.
+    pub fn new(pool_uuid: u64, offset: u64) -> Self {
+        PmemOid { pool_uuid, offset }
+    }
+
+    /// Whether this is the null id.
+    pub fn is_null(&self) -> bool {
+        *self == Self::NULL
+    }
+}
+
+impl Default for PmemOid {
+    fn default() -> Self {
+        Self::NULL
+    }
+}
+
+/// A typed persistent object identifier, the `TOID(type)` equivalent.
+///
+/// The type parameter is purely a compile-time tag: it records what the
+/// allocation holds so reads and writes go through the right element size.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TypedOid<T> {
+    oid: PmemOid,
+    /// Number of `T` elements in the allocation.
+    len: u64,
+    #[serde(skip)]
+    _marker: PhantomData<fn() -> T>,
+}
+
+// Manual impls so `T` does not need to be Clone/Copy/PartialEq itself.
+impl<T> Clone for TypedOid<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TypedOid<T> {}
+impl<T> PartialEq for TypedOid<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.oid == other.oid && self.len == other.len
+    }
+}
+impl<T> Eq for TypedOid<T> {}
+
+impl<T> TypedOid<T> {
+    /// Wraps an untyped oid with a length in elements.
+    pub fn new(oid: PmemOid, len: u64) -> Self {
+        TypedOid {
+            oid,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The null typed oid.
+    pub fn null() -> Self {
+        Self::new(PmemOid::NULL, 0)
+    }
+
+    /// The untyped oid.
+    pub fn oid(&self) -> PmemOid {
+        self.oid
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the allocation holds zero elements (or is null).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0 || self.oid.is_null()
+    }
+
+    /// Byte offset of element `index` within the pool, if in range.
+    pub fn element_offset(&self, index: u64, element_size: u64) -> Option<u64> {
+        if index >= self.len {
+            return None;
+        }
+        Some(self.oid.offset + index * element_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_oid_is_default_and_detectable() {
+        assert!(PmemOid::NULL.is_null());
+        assert!(PmemOid::default().is_null());
+        assert!(!PmemOid::new(1, 64).is_null());
+        assert!(TypedOid::<f64>::null().is_empty());
+    }
+
+    #[test]
+    fn typed_oid_is_copy_even_for_non_copy_types() {
+        let oid = TypedOid::<String>::new(PmemOid::new(7, 128), 4);
+        let copy = oid;
+        assert_eq!(oid, copy);
+        assert_eq!(copy.len(), 4);
+        assert_eq!(copy.oid().offset, 128);
+    }
+
+    #[test]
+    fn element_offsets_respect_bounds() {
+        let oid = TypedOid::<f64>::new(PmemOid::new(1, 1000), 10);
+        assert_eq!(oid.element_offset(0, 8), Some(1000));
+        assert_eq!(oid.element_offset(9, 8), Some(1072));
+        assert_eq!(oid.element_offset(10, 8), None);
+    }
+
+    #[test]
+    fn oids_compare_by_pool_and_offset() {
+        let a = PmemOid::new(1, 64);
+        let b = PmemOid::new(1, 64);
+        let c = PmemOid::new(2, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

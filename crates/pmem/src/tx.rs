@@ -1,0 +1,405 @@
+//! Undo-log transactions.
+//!
+//! `pmemobj` transactions guarantee that "either all of the modifications are
+//! successfully applied or none of them take effect" (paper §1.4). The
+//! mechanism reproduced here is the classic undo log:
+//!
+//! 1. before a range is modified inside a transaction, its *old* contents are
+//!    appended to a log area inside the pool and flushed;
+//! 2. the modification is applied in place;
+//! 3. on commit the modified ranges are flushed and the log is invalidated;
+//! 4. on abort — or on pool open after a crash — the log is replayed in
+//!    reverse, restoring the old contents.
+//!
+//! [`CrashPoint`] lets tests "pull the power cord" at the interesting moments
+//! and verify that recovery restores a consistent state.
+
+use crate::backend::SharedBackend;
+use crate::error::PmemError;
+use crate::persist::PersistTracker;
+use crate::Result;
+use std::sync::Arc;
+
+/// Where an injected crash fires during a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After the undo-log entries are durable but before any data is modified.
+    AfterLogAppend,
+    /// After data has been modified but before the commit record clears the log.
+    BeforeCommit,
+    /// After the commit completed (the transaction's effects must survive).
+    AfterCommit,
+}
+
+const LOG_ACTIVE: u64 = 1;
+const LOG_IDLE: u64 = 0;
+/// Bytes reserved at the start of the log area for the (active, entry_count) header.
+const LOG_HEADER: u64 = 16;
+/// Per-entry header: target offset + length.
+const ENTRY_HEADER: u64 = 16;
+
+/// The undo-log area of a pool.
+pub struct TxLog {
+    backend: SharedBackend,
+    tracker: Arc<PersistTracker>,
+    start: u64,
+    end: u64,
+}
+
+impl TxLog {
+    /// Creates a handle over `[start, end)` of the pool.
+    pub fn new(backend: SharedBackend, tracker: Arc<PersistTracker>, start: u64, end: u64) -> Self {
+        TxLog {
+            backend,
+            tracker,
+            start,
+            end,
+        }
+    }
+
+    /// Formats the log as idle/empty.
+    pub fn format(&self) -> Result<()> {
+        self.write_header(LOG_IDLE, 0)
+    }
+
+    fn read_u64(&self, offset: u64) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.backend.read_at(offset, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn write_header(&self, active: u64, count: u64) -> Result<()> {
+        self.backend.write_at(self.start, &active.to_le_bytes())?;
+        self.backend.write_at(self.start + 8, &count.to_le_bytes())?;
+        self.tracker.persist(&self.backend, self.start, LOG_HEADER)?;
+        Ok(())
+    }
+
+    fn header(&self) -> Result<(u64, u64)> {
+        Ok((self.read_u64(self.start)?, self.read_u64(self.start + 8)?))
+    }
+
+    /// Whether an uncommitted transaction's log is present.
+    pub fn is_active(&self) -> Result<bool> {
+        Ok(self.header()?.0 == LOG_ACTIVE)
+    }
+
+    /// Appends an undo entry containing the *current* contents of
+    /// `[offset, offset+len)` and returns the log cursor after the entry.
+    fn append(&self, cursor: u64, entry_index: u64, offset: u64, len: u64) -> Result<u64> {
+        let needed = ENTRY_HEADER + len;
+        if cursor + needed > self.end {
+            return Err(PmemError::LogFull);
+        }
+        let mut old = vec![0u8; len as usize];
+        self.backend.read_at(offset, &mut old)?;
+        self.backend.write_at(cursor, &offset.to_le_bytes())?;
+        self.backend.write_at(cursor + 8, &len.to_le_bytes())?;
+        self.backend.write_at(cursor + ENTRY_HEADER, &old)?;
+        self.tracker.persist(&self.backend, cursor, needed)?;
+        // Publish the entry: bump the count (and mark active) only after the
+        // entry body is durable, so recovery never replays a torn entry.
+        self.write_header(LOG_ACTIVE, entry_index + 1)?;
+        Ok(cursor + needed)
+    }
+
+    /// Replays the log in reverse, restoring pre-transaction contents, then
+    /// clears it. Returns `true` if anything was rolled back.
+    pub fn recover(&self) -> Result<bool> {
+        let (active, count) = self.header()?;
+        if active != LOG_ACTIVE || count == 0 {
+            if active == LOG_ACTIVE {
+                self.write_header(LOG_IDLE, 0)?;
+            }
+            return Ok(false);
+        }
+        // Walk the entries forward collecting their positions, then undo in reverse.
+        let mut entries = Vec::with_capacity(count as usize);
+        let mut cursor = self.start + LOG_HEADER;
+        for _ in 0..count {
+            let offset = self.read_u64(cursor)?;
+            let len = self.read_u64(cursor + 8)?;
+            entries.push((cursor + ENTRY_HEADER, offset, len));
+            cursor += ENTRY_HEADER + len;
+        }
+        for &(data_at, offset, len) in entries.iter().rev() {
+            let mut old = vec![0u8; len as usize];
+            self.backend.read_at(data_at, &mut old)?;
+            self.backend.write_at(offset, &old)?;
+            self.tracker.persist(&self.backend, offset, len)?;
+        }
+        self.write_header(LOG_IDLE, 0)?;
+        Ok(true)
+    }
+
+    fn clear(&self) -> Result<()> {
+        self.write_header(LOG_IDLE, 0)
+    }
+}
+
+/// An in-flight transaction (obtained from [`crate::PmemPool::run_tx`]).
+pub struct Transaction<'a> {
+    backend: &'a SharedBackend,
+    tracker: &'a Arc<PersistTracker>,
+    log: &'a TxLog,
+    crash: Option<CrashPoint>,
+    cursor: u64,
+    entries: u64,
+    modified: Vec<(u64, u64)>,
+    finished: bool,
+}
+
+impl<'a> Transaction<'a> {
+    pub(crate) fn begin(
+        backend: &'a SharedBackend,
+        tracker: &'a Arc<PersistTracker>,
+        log: &'a TxLog,
+        crash: Option<CrashPoint>,
+    ) -> Result<Self> {
+        if log.is_active()? {
+            return Err(PmemError::TransactionState(
+                "another transaction's log is still active (recovery required)",
+            ));
+        }
+        Ok(Transaction {
+            backend,
+            tracker,
+            log,
+            crash,
+            cursor: log.start + LOG_HEADER,
+            entries: 0,
+            modified: Vec::new(),
+            finished: false,
+        })
+    }
+
+    fn maybe_crash(&self, point: CrashPoint) -> Result<()> {
+        if self.crash == Some(point) {
+            return Err(PmemError::InjectedCrash(match point {
+                CrashPoint::AfterLogAppend => "after-log-append",
+                CrashPoint::BeforeCommit => "before-commit",
+                CrashPoint::AfterCommit => "after-commit",
+            }));
+        }
+        Ok(())
+    }
+
+    /// Registers `[offset, offset+len)` for rollback: its current contents are
+    /// appended to the undo log (the `TX_ADD_RANGE` equivalent).
+    pub fn add_range(&mut self, offset: u64, len: u64) -> Result<()> {
+        if self.finished {
+            return Err(PmemError::TransactionState("transaction already finished"));
+        }
+        self.cursor = self.log.append(self.cursor, self.entries, offset, len)?;
+        self.entries += 1;
+        self.modified.push((offset, len));
+        self.maybe_crash(CrashPoint::AfterLogAppend)?;
+        Ok(())
+    }
+
+    /// Transactionally writes `data` at `offset`: the old contents are logged
+    /// first, then the new data is written in place.
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<()> {
+        self.add_range(offset, data.len() as u64)?;
+        self.backend.write_at(offset, data)?;
+        Ok(())
+    }
+
+    /// Reads within the transaction (sees its own writes).
+    pub fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.backend.read_at(offset, buf)
+    }
+
+    /// Number of ranges registered so far.
+    pub fn ranges(&self) -> usize {
+        self.modified.len()
+    }
+
+    /// Commits: flush every modified range, then invalidate the log.
+    pub(crate) fn commit(mut self) -> Result<()> {
+        for &(offset, len) in &self.modified {
+            self.tracker.persist(self.backend, offset, len)?;
+        }
+        self.maybe_crash(CrashPoint::BeforeCommit)?;
+        self.log.clear()?;
+        self.finished = true;
+        self.maybe_crash(CrashPoint::AfterCommit)?;
+        Ok(())
+    }
+
+    /// Aborts: restore old contents from the log and invalidate it.
+    pub(crate) fn abort(mut self) -> Result<()> {
+        self.log.recover()?;
+        self.finished = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{SharedBackend, VolatileBackend};
+    use crate::pool::PmemPool;
+    use std::sync::Arc;
+
+    const POOL_SIZE: u64 = 2 * 1024 * 1024;
+
+    fn pool_pair() -> (VolatileBackend, PmemPool) {
+        let backend = VolatileBackend::new_persistent(POOL_SIZE);
+        let shared: SharedBackend = Arc::new(backend.clone());
+        let pool = PmemPool::create_with_backend(shared, "tx-test").unwrap();
+        (backend, pool)
+    }
+
+    fn read8(pool: &PmemPool, offset: u64) -> [u8; 8] {
+        let mut buf = [0u8; 8];
+        pool.read(offset, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn committed_transaction_applies_all_writes() {
+        let (_, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        let b = pool.alloc_bytes(64).unwrap();
+        pool.run_tx(|tx| {
+            tx.write(a.offset, b"AAAAAAAA")?;
+            tx.write(b.offset, b"BBBBBBBB")?;
+            assert_eq!(tx.ranges(), 2);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(&read8(&pool, a.offset), b"AAAAAAAA");
+        assert_eq!(&read8(&pool, b.offset), b"BBBBBBBB");
+    }
+
+    #[test]
+    fn failed_transaction_rolls_back_all_writes() {
+        let (_, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        let b = pool.alloc_bytes(64).unwrap();
+        pool.write(a.offset, b"original").unwrap();
+        pool.write(b.offset, b"unchangd").unwrap();
+        let result: Result<()> = pool.run_tx(|tx| {
+            tx.write(a.offset, b"mutated!")?;
+            tx.write(b.offset, b"mutated!")?;
+            Err(PmemError::TransactionState("application-level failure"))
+        });
+        assert!(result.is_err());
+        assert_eq!(&read8(&pool, a.offset), b"original");
+        assert_eq!(&read8(&pool, b.offset), b"unchangd");
+    }
+
+    #[test]
+    fn transaction_reads_see_own_writes() {
+        let (_, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        pool.run_tx(|tx| {
+            tx.write(a.offset, b"visible!")?;
+            let mut buf = [0u8; 8];
+            tx.read(a.offset, &mut buf)?;
+            assert_eq!(&buf, b"visible!");
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn crash_before_commit_is_rolled_back_on_reopen() {
+        let (backend, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        pool.write(a.offset, b"checkpnt").unwrap();
+        pool.persist(a.offset, 8).unwrap();
+
+        pool.set_crash_point(Some(CrashPoint::BeforeCommit));
+        let result: Result<()> = pool.run_tx(|tx| {
+            tx.write(a.offset, b"halfdone")?;
+            Ok(())
+        });
+        assert!(matches!(result.unwrap_err(), PmemError::InjectedCrash(_)));
+        drop(pool);
+
+        // Reopen over the same bytes: recovery must restore the old contents.
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = PmemPool::open_with_backend(shared, "tx-test").unwrap();
+        assert_eq!(&read8(&reopened, a.offset), b"checkpnt");
+        // And the log must be clean so new transactions can run.
+        reopened
+            .run_tx(|tx| tx.write(a.offset, b"newvalue"))
+            .unwrap();
+        assert_eq!(&read8(&reopened, a.offset), b"newvalue");
+    }
+
+    #[test]
+    fn crash_after_log_append_preserves_old_data() {
+        let (backend, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        pool.write(a.offset, b"original").unwrap();
+        pool.set_crash_point(Some(CrashPoint::AfterLogAppend));
+        let result: Result<()> = pool.run_tx(|tx| {
+            tx.add_range(a.offset, 8)?;
+            // The crash fires inside add_range, so this write never happens.
+            unreachable!("crash point must fire before this closure continues");
+        });
+        assert!(result.unwrap_err().is_injected_crash());
+        drop(pool);
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = PmemPool::open_with_backend(shared, "tx-test").unwrap();
+        assert_eq!(&read8(&reopened, a.offset), b"original");
+    }
+
+    #[test]
+    fn crash_after_commit_keeps_new_data() {
+        let (backend, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        pool.write(a.offset, b"original").unwrap();
+        pool.set_crash_point(Some(CrashPoint::AfterCommit));
+        let result: Result<()> = pool.run_tx(|tx| tx.write(a.offset, b"durable!"));
+        assert!(result.unwrap_err().is_injected_crash());
+        drop(pool);
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = PmemPool::open_with_backend(shared, "tx-test").unwrap();
+        assert_eq!(&read8(&reopened, a.offset), b"durable!");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (backend, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        pool.write(a.offset, b"original").unwrap();
+        pool.set_crash_point(Some(CrashPoint::BeforeCommit));
+        let _ = pool.run_tx(|tx| tx.write(a.offset, b"mutated!"));
+        drop(pool);
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = PmemPool::open_with_backend(shared, "tx-test").unwrap();
+        assert!(!reopened.recover().unwrap());
+        assert!(!reopened.recover().unwrap());
+        assert_eq!(&read8(&reopened, a.offset), b"original");
+    }
+
+    #[test]
+    fn log_overflow_is_reported() {
+        let (_, pool) = pool_pair();
+        let big = pool.alloc_bytes(1024 * 1024).unwrap();
+        let result: Result<()> = pool.run_tx(|tx| {
+            // The log area is 256 KiB: snapshotting 1 MiB cannot fit.
+            tx.add_range(big.offset, 1024 * 1024)?;
+            Ok(())
+        });
+        assert!(matches!(result.unwrap_err(), PmemError::LogFull));
+        // Pool remains usable.
+        pool.run_tx(|tx| tx.write(big.offset, b"still ok")).unwrap();
+    }
+
+    #[test]
+    fn multiple_sequential_transactions() {
+        let (_, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        for i in 0..10u64 {
+            pool.run_tx(|tx| tx.write(a.offset, &i.to_le_bytes())).unwrap();
+        }
+        let mut buf = [0u8; 8];
+        pool.read(a.offset, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 9);
+    }
+}

@@ -1,0 +1,270 @@
+//! The four STREAM kernels and their accounting rules.
+
+use serde::{Deserialize, Serialize};
+
+/// One STREAM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// `c[i] = a[i]`
+    Copy,
+    /// `b[i] = scalar * c[i]`
+    Scale,
+    /// `c[i] = a[i] + b[i]`
+    Add,
+    /// `a[i] = b[i] + scalar * c[i]`
+    Triad,
+}
+
+impl Kernel {
+    /// All kernels in the order STREAM runs them.
+    pub const ALL: [Kernel; 4] = [Kernel::Copy, Kernel::Scale, Kernel::Add, Kernel::Triad];
+
+    /// Kernel name as STREAM prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Copy => "Copy",
+            Kernel::Scale => "Scale",
+            Kernel::Add => "Add",
+            Kernel::Triad => "Triad",
+        }
+    }
+
+    /// Which paper figure this kernel's sweep appears in.
+    pub fn figure_number(&self) -> u32 {
+        match self {
+            Kernel::Scale => 5,
+            Kernel::Add => 6,
+            Kernel::Copy => 7,
+            Kernel::Triad => 8,
+        }
+    }
+
+    /// Bytes read from memory per element (f64 elements, STREAM counting rules).
+    pub fn read_bytes_per_element(&self) -> u64 {
+        match self {
+            Kernel::Copy | Kernel::Scale => 8,
+            Kernel::Add | Kernel::Triad => 16,
+        }
+    }
+
+    /// Bytes written to memory per element.
+    pub fn write_bytes_per_element(&self) -> u64 {
+        8
+    }
+
+    /// Total bytes moved per element (what STREAM divides time by).
+    pub fn bytes_per_element(&self) -> u64 {
+        self.read_bytes_per_element() + self.write_bytes_per_element()
+    }
+
+    /// Floating-point operations per element.
+    pub fn flops_per_element(&self) -> u64 {
+        match self {
+            Kernel::Copy => 0,
+            Kernel::Scale => 1,
+            Kernel::Add => 1,
+            Kernel::Triad => 2,
+        }
+    }
+
+    /// Parses a kernel name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Kernel> {
+        match name.to_ascii_lowercase().as_str() {
+            "copy" => Some(Kernel::Copy),
+            "scale" => Some(Kernel::Scale),
+            "add" => Some(Kernel::Add),
+            "triad" => Some(Kernel::Triad),
+            _ => None,
+        }
+    }
+
+    /// Applies the kernel to a chunk: `a`, `b`, `c` are same-length slices of
+    /// the three STREAM arrays restricted to this chunk.
+    pub fn apply(&self, a: &mut [f64], b: &mut [f64], c: &mut [f64], scalar: f64) {
+        debug_assert_eq!(a.len(), b.len());
+        debug_assert_eq!(a.len(), c.len());
+        match self {
+            Kernel::Copy => {
+                for i in 0..a.len() {
+                    c[i] = a[i];
+                }
+            }
+            Kernel::Scale => {
+                for i in 0..a.len() {
+                    b[i] = scalar * c[i];
+                }
+            }
+            Kernel::Add => {
+                for i in 0..a.len() {
+                    c[i] = a[i] + b[i];
+                }
+            }
+            Kernel::Triad => {
+                for i in 0..a.len() {
+                    a[i] = b[i] + scalar * c[i];
+                }
+            }
+        }
+    }
+}
+
+/// Configuration of a STREAM run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Elements per array (the paper uses 100 M).
+    pub elements: usize,
+    /// Number of repetitions of the kernel sequence (STREAM's `NTIMES`).
+    pub ntimes: usize,
+    /// The Scale/Triad scalar (STREAM uses 3.0).
+    pub scalar: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            elements: 1_000_000,
+            ntimes: memsim::calibration::STREAM_NTIMES,
+            scalar: 3.0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The paper's configuration: 100 M elements per array.
+    pub fn paper() -> Self {
+        StreamConfig {
+            elements: memsim::calibration::PAPER_STREAM_ELEMENTS,
+            ..Self::default()
+        }
+    }
+
+    /// A small configuration for functional tests.
+    pub fn small(elements: usize) -> Self {
+        StreamConfig {
+            elements,
+            ntimes: 3,
+            scalar: 3.0,
+        }
+    }
+
+    /// Total bytes one invocation of `kernel` moves.
+    pub fn bytes_per_invocation(&self, kernel: Kernel) -> u64 {
+        self.elements as u64 * kernel.bytes_per_element()
+    }
+
+    /// Computes the values every element of `a`, `b`, `c` must hold after
+    /// `ntimes` repetitions of the Copy→Scale→Add→Triad sequence, starting
+    /// from the STREAM initial conditions (a=1, b=2, c=0) — the same check the
+    /// reference implementation performs.
+    pub fn expected_values(&self) -> (f64, f64, f64) {
+        let (mut a, mut b, mut c) = (1.0f64, 2.0f64, 0.0f64);
+        // STREAM scales the initial a by 2.0 before the timed loops.
+        a *= 2.0;
+        for _ in 0..self.ntimes {
+            c = a; // Copy
+            b = self.scalar * c; // Scale
+            c = a + b; // Add
+            a = b + self.scalar * c; // Triad
+        }
+        (a, b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn names_figures_and_parse_round_trip() {
+        for kernel in Kernel::ALL {
+            assert_eq!(Kernel::parse(kernel.name()), Some(kernel));
+        }
+        assert_eq!(Kernel::parse("TRIAD"), Some(Kernel::Triad));
+        assert_eq!(Kernel::parse("bogus"), None);
+        assert_eq!(Kernel::Scale.figure_number(), 5);
+        assert_eq!(Kernel::Add.figure_number(), 6);
+        assert_eq!(Kernel::Copy.figure_number(), 7);
+        assert_eq!(Kernel::Triad.figure_number(), 8);
+    }
+
+    #[test]
+    fn byte_accounting_matches_stream_rules() {
+        assert_eq!(Kernel::Copy.bytes_per_element(), 16);
+        assert_eq!(Kernel::Scale.bytes_per_element(), 16);
+        assert_eq!(Kernel::Add.bytes_per_element(), 24);
+        assert_eq!(Kernel::Triad.bytes_per_element(), 24);
+        assert_eq!(Kernel::Triad.flops_per_element(), 2);
+        assert_eq!(Kernel::Copy.flops_per_element(), 0);
+        let config = StreamConfig::small(1000);
+        assert_eq!(config.bytes_per_invocation(Kernel::Add), 24_000);
+    }
+
+    #[test]
+    fn kernels_compute_the_right_values() {
+        let scalar = 3.0;
+        let mut a = vec![2.0; 8];
+        let mut b = vec![0.5; 8];
+        let mut c = vec![0.0; 8];
+        Kernel::Copy.apply(&mut a, &mut b, &mut c, scalar);
+        assert!(c.iter().all(|&x| x == 2.0));
+        Kernel::Scale.apply(&mut a, &mut b, &mut c, scalar);
+        assert!(b.iter().all(|&x| x == 6.0));
+        Kernel::Add.apply(&mut a, &mut b, &mut c, scalar);
+        assert!(c.iter().all(|&x| x == 8.0));
+        Kernel::Triad.apply(&mut a, &mut b, &mut c, scalar);
+        assert!(a.iter().all(|&x| x == 6.0 + 3.0 * 8.0));
+    }
+
+    #[test]
+    fn expected_values_match_a_manual_simulation() {
+        let config = StreamConfig::small(4);
+        let (ea, eb, ec) = config.expected_values();
+        // Manually run the sequence on full (tiny) arrays.
+        let mut a = vec![2.0f64; 4];
+        let mut b = vec![2.0f64; 4];
+        let mut c = vec![0.0f64; 4];
+        // STREAM initialisation: a = 1 * 2.0, b = 2, c = 0.
+        for x in b.iter_mut() {
+            *x = 2.0;
+        }
+        for _ in 0..config.ntimes {
+            for k in Kernel::ALL {
+                k.apply(&mut a, &mut b, &mut c, config.scalar);
+            }
+        }
+        assert!((a[0] - ea).abs() < 1e-9 * ea.abs());
+        assert!((b[0] - eb).abs() < 1e-9 * eb.abs());
+        assert!((c[0] - ec).abs() < 1e-9 * ec.abs());
+    }
+
+    #[test]
+    fn paper_config_uses_100m_elements() {
+        assert_eq!(StreamConfig::paper().elements, 100_000_000);
+        assert_eq!(StreamConfig::default().scalar, 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kernels_are_elementwise(len in 1usize..100, scalar in 0.5f64..4.0) {
+            // Applying a kernel to the whole array equals applying it chunk by chunk.
+            let a0: Vec<f64> = (0..len).map(|i| i as f64).collect();
+            let b0: Vec<f64> = (0..len).map(|i| (i * 2) as f64).collect();
+            let c0: Vec<f64> = (0..len).map(|i| (i * 3) as f64).collect();
+            for kernel in Kernel::ALL {
+                let (mut a1, mut b1, mut c1) = (a0.clone(), b0.clone(), c0.clone());
+                kernel.apply(&mut a1, &mut b1, &mut c1, scalar);
+                let (mut a2, mut b2, mut c2) = (a0.clone(), b0.clone(), c0.clone());
+                let mid = len / 2;
+                let (al, ar) = a2.split_at_mut(mid);
+                let (bl, br) = b2.split_at_mut(mid);
+                let (cl, cr) = c2.split_at_mut(mid);
+                kernel.apply(al, bl, cl, scalar);
+                kernel.apply(ar, br, cr, scalar);
+                prop_assert_eq!(a1, a2);
+                prop_assert_eq!(b1, b2);
+                prop_assert_eq!(c1, c2);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! STREAM and STREAM-PMem.
+//!
+//! The paper's entire quantitative evaluation is the STREAM benchmark (Copy,
+//! Scale, Add, Triad over three 100 M-element `double` arrays) in two
+//! flavours: the original cache-coherent version (Memory-Mode / CC-NUMA runs)
+//! and STREAM-PMem, where the arrays are `POBJ_ALLOC`ed from a `pmemobj` pool
+//! (App-Direct runs). This crate provides both:
+//!
+//! * [`kernels`] — the four kernels, their byte/flop accounting and the
+//!   analytic validation values from the reference implementation.
+//! * [`volatile`] — STREAM over ordinary heap arrays, parallelised with the
+//!   affinity-aware [`numa::PinnedPool`].
+//! * [`pmem_stream`] — STREAM-PMem over [`pmem::PersistentArray`]s living in a
+//!   pool (optionally a pool on the CXL expander).
+//! * [`report`] — per-kernel bandwidth bookkeeping (best-of-N, as STREAM
+//!   reports).
+//! * [`runner`] — the bridge to the analytical machine model: converts a
+//!   kernel + thread placement + data placement + access mode into the
+//!   simulated bandwidth the harness plots, while the functional kernels above
+//!   are used to validate correctness of the data path.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kernels;
+pub mod pmem_stream;
+pub mod report;
+pub mod runner;
+pub mod volatile;
+
+pub use kernels::{Kernel, StreamConfig};
+pub use pmem_stream::PmemStream;
+pub use report::{BandwidthReport, KernelMeasurement};
+pub use runner::SimulatedStream;
+pub use volatile::VolatileStream;

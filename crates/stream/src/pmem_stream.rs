@@ -1,0 +1,218 @@
+//! STREAM-PMem: the three arrays live in a persistent pool (App-Direct).
+//!
+//! This mirrors Listing 2 of the paper: the pool is created (or opened), the
+//! three arrays are allocated from it, and the rest of the benchmark proceeds
+//! unchanged. The arrays can live on any pool — including one provisioned on
+//! the CXL expander by `cxl-pmem` — which is exactly the programming-model
+//! portability argument the paper makes.
+
+use crate::kernels::{Kernel, StreamConfig};
+use crate::report::{BandwidthReport, KernelMeasurement};
+use numa::{PinnedPool, WorkerCtx};
+use pmem::{PersistentArray, PmemPool, Result as PmemResult, TypedOid};
+use std::time::Instant;
+
+/// STREAM-PMem over three persistent arrays in a pool.
+pub struct PmemStream<'p> {
+    config: StreamConfig,
+    a: PersistentArray<'p, f64>,
+    b: PersistentArray<'p, f64>,
+    c: PersistentArray<'p, f64>,
+}
+
+/// The pool-root record STREAM-PMem stores so a restarted run can reattach to
+/// its arrays (the `POBJ_LAYOUT`/root-object pattern).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamRoot {
+    /// Array `a`.
+    pub a: TypedOid<f64>,
+    /// Array `b`.
+    pub b: TypedOid<f64>,
+    /// Array `c`.
+    pub c: TypedOid<f64>,
+}
+
+impl<'p> PmemStream<'p> {
+    /// Allocates the three arrays in `pool` and initialises them with the
+    /// STREAM initial values (the `initiate()` function of Listing 2).
+    pub fn initiate(pool: &'p PmemPool, config: StreamConfig) -> PmemResult<Self> {
+        let a = PersistentArray::allocate(pool, config.elements as u64)?;
+        let b = PersistentArray::allocate(pool, config.elements as u64)?;
+        let c = PersistentArray::allocate(pool, config.elements as u64)?;
+        a.fill(2.0)?;
+        b.fill(2.0)?;
+        c.fill(0.0)?;
+        a.persist_all()?;
+        b.persist_all()?;
+        c.persist_all()?;
+        Ok(PmemStream { config, a, b, c })
+    }
+
+    /// Reattaches to arrays allocated by a previous run.
+    pub fn reattach(pool: &'p PmemPool, config: StreamConfig, root: StreamRoot) -> Self {
+        PmemStream {
+            config,
+            a: PersistentArray::from_oid(pool, root.a),
+            b: PersistentArray::from_oid(pool, root.b),
+            c: PersistentArray::from_oid(pool, root.c),
+        }
+    }
+
+    /// The oids of the three arrays, to be stored via the pool root object.
+    pub fn root(&self) -> StreamRoot {
+        StreamRoot {
+            a: self.a.typed_oid(),
+            b: self.b.typed_oid(),
+            c: self.c.typed_oid(),
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    fn run_kernel_once(&self, kernel: Kernel, pool: &PinnedPool) -> PmemResult<f64> {
+        let scalar = self.config.scalar;
+        let elements = self.config.elements;
+        let start = Instant::now();
+        let results: Vec<PmemResult<()>> = pool.run(|ctx: WorkerCtx| {
+            let (lo, hi) = ctx.chunk(elements);
+            if lo == hi {
+                return Ok(());
+            }
+            let len = hi - lo;
+            let mut a_chunk = vec![0.0f64; len];
+            let mut b_chunk = vec![0.0f64; len];
+            let mut c_chunk = vec![0.0f64; len];
+            self.a.load_slice(lo as u64, &mut a_chunk)?;
+            self.b.load_slice(lo as u64, &mut b_chunk)?;
+            self.c.load_slice(lo as u64, &mut c_chunk)?;
+            kernel.apply(&mut a_chunk, &mut b_chunk, &mut c_chunk, scalar);
+            match kernel {
+                Kernel::Copy | Kernel::Add => {
+                    self.c.store_slice(lo as u64, &c_chunk)?;
+                    self.c.persist(lo as u64, len as u64)?;
+                }
+                Kernel::Scale => {
+                    self.b.store_slice(lo as u64, &b_chunk)?;
+                    self.b.persist(lo as u64, len as u64)?;
+                }
+                Kernel::Triad => {
+                    self.a.store_slice(lo as u64, &a_chunk)?;
+                    self.a.persist(lo as u64, len as u64)?;
+                }
+            }
+            Ok(())
+        });
+        for result in results {
+            result?;
+        }
+        Ok(start.elapsed().as_secs_f64())
+    }
+
+    /// Runs the full STREAM-PMem sequence and returns per-kernel best-of-N
+    /// bandwidths.
+    pub fn run(&self, pool: &PinnedPool) -> PmemResult<BandwidthReport> {
+        let mut report = BandwidthReport::new(pool.len());
+        for _ in 0..self.config.ntimes {
+            for kernel in Kernel::ALL {
+                let seconds = self.run_kernel_once(kernel, pool)?;
+                report.record(KernelMeasurement {
+                    kernel,
+                    threads: pool.len(),
+                    seconds,
+                    bytes: self.config.bytes_per_invocation(kernel),
+                });
+            }
+        }
+        Ok(report)
+    }
+
+    /// Validates the persistent arrays against the analytic expected values;
+    /// returns the maximum relative error.
+    pub fn validate(&self) -> PmemResult<f64> {
+        let (ea, eb, ec) = self.config.expected_values();
+        let mut max_err = 0.0f64;
+        let mut check = |expected: f64, array: &PersistentArray<'p, f64>| -> PmemResult<()> {
+            const CHUNK: usize = 8192;
+            let mut buf = vec![0.0f64; CHUNK];
+            let mut index = 0u64;
+            while index < array.len() {
+                let n = CHUNK.min((array.len() - index) as usize);
+                array.load_slice(index, &mut buf[..n])?;
+                for &v in &buf[..n] {
+                    let err = ((v - expected) / expected).abs();
+                    if err > max_err {
+                        max_err = err;
+                    }
+                }
+                index += n as u64;
+            }
+            Ok(())
+        };
+        check(ea, &self.a)?;
+        check(eb, &self.b)?;
+        check(ec, &self.c)?;
+        Ok(max_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa::topology::sapphire_rapids_cxl;
+    use numa::AffinityPolicy;
+    use pmem::PmemPool;
+
+    fn worker_pool(threads: usize) -> PinnedPool {
+        let topo = sapphire_rapids_cxl();
+        let placement = AffinityPolicy::close().place(&topo, threads).unwrap();
+        PinnedPool::new(&topo, &placement)
+    }
+
+    fn pmem_pool(bytes: u64) -> PmemPool {
+        PmemPool::create_volatile("stream-pmem", bytes).unwrap()
+    }
+
+    #[test]
+    fn initiate_run_validate() {
+        let pool = pmem_pool(8 * 1024 * 1024);
+        let config = StreamConfig::small(20_000);
+        let stream = PmemStream::initiate(&pool, config).unwrap();
+        let report = stream.run(&worker_pool(4)).unwrap();
+        assert!(stream.validate().unwrap() < 1e-12);
+        assert_eq!(report.measurements().len(), 4 * config.ntimes);
+        // Persist instrumentation proves the App-Direct path flushed data.
+        assert!(pool.persist_stats().bytes_persisted > 0);
+    }
+
+    #[test]
+    fn arrays_survive_reattach() {
+        let pool = pmem_pool(8 * 1024 * 1024);
+        let config = StreamConfig::small(5_000);
+        let root = {
+            let stream = PmemStream::initiate(&pool, config).unwrap();
+            stream.run(&worker_pool(2)).unwrap();
+            stream.root()
+        };
+        let reattached = PmemStream::reattach(&pool, config, root);
+        assert!(reattached.validate().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn pool_too_small_for_arrays_errors() {
+        let pool = pmem_pool(512 * 1024);
+        let config = StreamConfig::small(1_000_000);
+        assert!(PmemStream::initiate(&pool, config).is_err());
+    }
+
+    #[test]
+    fn single_thread_matches_expected_values_exactly() {
+        let pool = pmem_pool(4 * 1024 * 1024);
+        let config = StreamConfig::small(1_000);
+        let stream = PmemStream::initiate(&pool, config).unwrap();
+        stream.run(&worker_pool(1)).unwrap();
+        assert!(stream.validate().unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! STREAM over ordinary heap arrays (the Memory-Mode / CC-NUMA flavour).
+
+use crate::kernels::{Kernel, StreamConfig};
+use crate::report::{BandwidthReport, KernelMeasurement};
+use numa::{PinnedPool, WorkerCtx};
+use parking_lot::RwLock;
+use std::time::Instant;
+
+/// A STREAM instance over three heap-allocated `f64` arrays.
+pub struct VolatileStream {
+    config: StreamConfig,
+    a: RwLock<Vec<f64>>,
+    b: RwLock<Vec<f64>>,
+    c: RwLock<Vec<f64>>,
+}
+
+impl VolatileStream {
+    /// Allocates and initialises the arrays with the STREAM initial values
+    /// (a = 2.0 after the initial scaling, b = 2.0, c = 0.0).
+    pub fn new(config: StreamConfig) -> Self {
+        VolatileStream {
+            config,
+            a: RwLock::new(vec![2.0; config.elements]),
+            b: RwLock::new(vec![2.0; config.elements]),
+            c: RwLock::new(vec![0.0; config.elements]),
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> StreamConfig {
+        self.config
+    }
+
+    fn run_kernel_once(&self, kernel: Kernel, pool: &PinnedPool) -> f64 {
+        let scalar = self.config.scalar;
+        let elements = self.config.elements;
+        let start = Instant::now();
+        let a = &self.a;
+        let b = &self.b;
+        let c = &self.c;
+        pool.run(|ctx: WorkerCtx| {
+            let (lo, hi) = ctx.chunk(elements);
+            if lo == hi {
+                return;
+            }
+            // Each worker owns a disjoint chunk; copy it out, compute, copy
+            // back. The copies stay inside the worker's chunk so there is no
+            // cross-thread interference; the real memory traffic is what the
+            // simulator accounts separately.
+            let mut a_chunk = a.read()[lo..hi].to_vec();
+            let mut b_chunk = b.read()[lo..hi].to_vec();
+            let mut c_chunk = c.read()[lo..hi].to_vec();
+            kernel.apply(&mut a_chunk, &mut b_chunk, &mut c_chunk, scalar);
+            match kernel {
+                Kernel::Copy | Kernel::Add => c.write()[lo..hi].copy_from_slice(&c_chunk),
+                Kernel::Scale => b.write()[lo..hi].copy_from_slice(&b_chunk),
+                Kernel::Triad => a.write()[lo..hi].copy_from_slice(&a_chunk),
+            }
+        });
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Runs the full STREAM sequence (`ntimes` repetitions of
+    /// Copy→Scale→Add→Triad) on the worker pool and returns the per-kernel
+    /// best-of-N bandwidths, exactly like the reference benchmark.
+    pub fn run(&self, pool: &PinnedPool) -> BandwidthReport {
+        let mut report = BandwidthReport::new(pool.len());
+        for _ in 0..self.config.ntimes {
+            for kernel in Kernel::ALL {
+                let seconds = self.run_kernel_once(kernel, pool);
+                report.record(KernelMeasurement {
+                    kernel,
+                    threads: pool.len(),
+                    seconds,
+                    bytes: self.config.bytes_per_invocation(kernel),
+                });
+            }
+        }
+        report
+    }
+
+    /// Validates the arrays against the analytically expected values, as the
+    /// reference STREAM does after the timed loops. Returns the maximum
+    /// relative error observed.
+    pub fn validate(&self) -> f64 {
+        let (ea, eb, ec) = self.config.expected_values();
+        let mut max_err = 0.0f64;
+        let check = |expected: f64, values: &[f64], max_err: &mut f64| {
+            for &v in values {
+                let err = ((v - expected) / expected).abs();
+                if err > *max_err {
+                    *max_err = err;
+                }
+            }
+        };
+        check(ea, &self.a.read(), &mut max_err);
+        check(eb, &self.b.read(), &mut max_err);
+        check(ec, &self.c.read(), &mut max_err);
+        max_err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa::topology::sapphire_rapids_cxl;
+    use numa::AffinityPolicy;
+
+    fn pool(threads: usize) -> PinnedPool {
+        let topo = sapphire_rapids_cxl();
+        let placement = AffinityPolicy::close().place(&topo, threads).unwrap();
+        PinnedPool::new(&topo, &placement)
+    }
+
+    #[test]
+    fn single_threaded_run_validates() {
+        let stream = VolatileStream::new(StreamConfig::small(10_000));
+        let report = stream.run(&pool(1));
+        assert!(stream.validate() < 1e-12);
+        assert_eq!(report.measurements().len(), 4 * 3);
+        for kernel in Kernel::ALL {
+            assert!(report.best_bandwidth_gbs(kernel).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_threaded_run_produces_identical_results() {
+        let config = StreamConfig::small(50_000);
+        let serial = VolatileStream::new(config);
+        serial.run(&pool(1));
+        let parallel = VolatileStream::new(config);
+        parallel.run(&pool(8));
+        assert!(serial.validate() < 1e-12);
+        assert!(parallel.validate() < 1e-12);
+    }
+
+    #[test]
+    fn validation_detects_corruption() {
+        let stream = VolatileStream::new(StreamConfig::small(1000));
+        stream.run(&pool(2));
+        stream.c.write()[500] = -1.0e9;
+        assert!(stream.validate() > 1e-3);
+    }
+
+    #[test]
+    fn awkward_sizes_are_handled() {
+        // Element counts that do not divide evenly by the thread count.
+        let stream = VolatileStream::new(StreamConfig::small(10_007));
+        stream.run(&pool(7));
+        assert!(stream.validate() < 1e-12);
+    }
+}

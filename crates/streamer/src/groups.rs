@@ -1,0 +1,297 @@
+//! The five test groups of §3.2.
+//!
+//! Every sub-figure of Figures 5–8 corresponds to one group; every trend
+//! within a sub-figure corresponds to a `(symbol, cores, memory, mode,
+//! affinity)` combination. The paper's legend convention is reproduced:
+//! the symbol distinguishes on-node DDR4 (▲), on-node DDR5 (●) and
+//! CXL-attached DDR4 (×); the annotation `pmem#N` / `numa#N` gives the access
+//! mode and the target node.
+
+use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use numa::{AffinityPolicy, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The five test groups (sub-figures (a)–(e) of each figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestGroup {
+    /// Class 1.(a): local memory access as PMem (App-Direct).
+    Class1aLocalPmem,
+    /// Class 1.(b): remote memory access as PMem (remote socket and CXL).
+    Class1bRemotePmem,
+    /// Class 1.(c): remote memory as PMem with close/spread affinity.
+    Class1cAffinity,
+    /// Class 2.(a): remote CC-NUMA (Memory Mode), single socket.
+    Class2aRemoteNuma,
+    /// Class 2.(b): remote CC-NUMA with all cores.
+    Class2bRemoteNumaAllCores,
+}
+
+impl TestGroup {
+    /// All groups in sub-figure order (a)–(e).
+    pub const ALL: [TestGroup; 5] = [
+        TestGroup::Class1aLocalPmem,
+        TestGroup::Class1bRemotePmem,
+        TestGroup::Class1cAffinity,
+        TestGroup::Class2aRemoteNuma,
+        TestGroup::Class2bRemoteNumaAllCores,
+    ];
+
+    /// The paper's name for the group.
+    pub fn title(&self) -> &'static str {
+        match self {
+            TestGroup::Class1aLocalPmem => "Class 1.a: Local memory access as PMem",
+            TestGroup::Class1bRemotePmem => "Class 1.b: Remote memory access as PMem",
+            TestGroup::Class1cAffinity => "Class 1.c: Remote memory as PMem (thread affinity)",
+            TestGroup::Class2aRemoteNuma => "Class 2.a: Remote CC-NUMA",
+            TestGroup::Class2bRemoteNumaAllCores => "Class 2.b: Remote CC-NUMA (all cores)",
+        }
+    }
+
+    /// The sub-figure letter.
+    pub fn subfigure(&self) -> char {
+        match self {
+            TestGroup::Class1aLocalPmem => 'a',
+            TestGroup::Class1bRemotePmem => 'b',
+            TestGroup::Class1cAffinity => 'c',
+            TestGroup::Class2aRemoteNuma => 'd',
+            TestGroup::Class2bRemoteNumaAllCores => 'e',
+        }
+    }
+
+    /// Parses `1a`/`1b`/`1c`/`2a`/`2b`.
+    pub fn parse(s: &str) -> Option<TestGroup> {
+        match s.to_ascii_lowercase().as_str() {
+            "1a" => Some(TestGroup::Class1aLocalPmem),
+            "1b" => Some(TestGroup::Class1bRemotePmem),
+            "1c" => Some(TestGroup::Class1cAffinity),
+            "2a" => Some(TestGroup::Class2aRemoteNuma),
+            "2b" => Some(TestGroup::Class2bRemoteNumaAllCores),
+            _ => None,
+        }
+    }
+
+    /// Maximum thread count swept in this group (one socket = 10 cores,
+    /// both sockets = 20 cores, matching the BIOS-limited setups).
+    pub fn max_threads(&self) -> usize {
+        match self {
+            TestGroup::Class1aLocalPmem
+            | TestGroup::Class1bRemotePmem
+            | TestGroup::Class2aRemoteNuma => 10,
+            TestGroup::Class1cAffinity | TestGroup::Class2bRemoteNumaAllCores => 20,
+        }
+    }
+
+    /// The trends (legend entries) of this group.
+    pub fn trends(&self) -> Vec<Trend> {
+        match self {
+            TestGroup::Class1aLocalPmem => vec![
+                Trend::setup1("● pmem#0 (local DDR5, socket0 cores)", MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(0), 0, AccessMode::AppDirect),
+                Trend::setup1("● pmem#1 (local DDR5, socket1 cores)", MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(1), 1, AccessMode::AppDirect),
+            ],
+            TestGroup::Class1bRemotePmem => vec![
+                Trend::setup1("● pmem#1 (remote DDR5 via UPI, socket0 cores)", MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(0), 1, AccessMode::AppDirect),
+                Trend::setup1("× pmem#2 (CXL DDR4, socket0 cores)", MemorySymbol::CxlDdr4,
+                    AffinityPolicy::SingleSocket(0), 2, AccessMode::AppDirect),
+            ],
+            TestGroup::Class1cAffinity => vec![
+                Trend::setup1("● pmem#0 (DDR5, both sockets, close)", MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::close(), 0, AccessMode::AppDirect),
+                Trend::setup1("● pmem#0 (DDR5, both sockets, spread)", MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::spread(), 0, AccessMode::AppDirect),
+                Trend::setup1("× pmem#2 (CXL DDR4, both sockets, close)", MemorySymbol::CxlDdr4,
+                    AffinityPolicy::close(), 2, AccessMode::AppDirect),
+                Trend::setup1("× pmem#2 (CXL DDR4, both sockets, spread)", MemorySymbol::CxlDdr4,
+                    AffinityPolicy::spread(), 2, AccessMode::AppDirect),
+            ],
+            TestGroup::Class2aRemoteNuma => vec![
+                Trend::setup1("● numa#1 (remote DDR5 via UPI, socket0 cores)", MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(0), 1, AccessMode::MemoryMode),
+                Trend::setup1("× numa#2 (CXL DDR4, socket0 cores)", MemorySymbol::CxlDdr4,
+                    AffinityPolicy::SingleSocket(0), 2, AccessMode::MemoryMode),
+                Trend::setup2("▲ numa#1 (on-node DDR4 via UPI, socket0 cores, setup #2)", MemorySymbol::OnNodeDdr4,
+                    AffinityPolicy::SingleSocket(0), 1, AccessMode::MemoryMode),
+            ],
+            TestGroup::Class2bRemoteNumaAllCores => vec![
+                Trend::setup1("● numa#1 (DDR5, all cores)", MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::close(), 1, AccessMode::MemoryMode),
+                Trend::setup1("× numa#2 (CXL DDR4, all cores)", MemorySymbol::CxlDdr4,
+                    AffinityPolicy::close(), 2, AccessMode::MemoryMode),
+                Trend::setup2("▲ numa#0 (on-node DDR4, all cores, setup #2)", MemorySymbol::OnNodeDdr4,
+                    AffinityPolicy::close(), 0, AccessMode::MemoryMode),
+            ],
+        }
+    }
+}
+
+/// The legend symbol classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemorySymbol {
+    /// ▲ on-node DDR4 (Setup #2).
+    OnNodeDdr4,
+    /// ● on-node DDR5 (Setup #1).
+    OnNodeDdr5,
+    /// × CXL-attached DDR4.
+    CxlDdr4,
+}
+
+impl MemorySymbol {
+    /// The glyph used in figures.
+    pub fn glyph(&self) -> char {
+        match self {
+            MemorySymbol::OnNodeDdr4 => '▲',
+            MemorySymbol::OnNodeDdr5 => '●',
+            MemorySymbol::CxlDdr4 => '×',
+        }
+    }
+}
+
+/// One legend entry: which setup, which cores, which memory, which mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trend {
+    /// Human-readable label (symbol + annotation, as in the paper's legends).
+    pub label: String,
+    /// Symbol class.
+    pub symbol: MemorySymbol,
+    /// Which physical setup runs the trend.
+    pub setup: TrendSetup,
+    /// Thread placement policy.
+    pub affinity: AffinityPolicy,
+    /// The NUMA node the arrays live on.
+    pub data_node: NodeId,
+    /// App-Direct (`pmem#N`) or Memory-Mode (`numa#N`).
+    pub mode: AccessMode,
+}
+
+/// Which machine a trend runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrendSetup {
+    /// Setup #1 — Sapphire Rapids + CXL.
+    Setup1,
+    /// Setup #2 — Xeon Gold, DDR4 only.
+    Setup2,
+}
+
+impl Trend {
+    fn setup1(
+        label: &str,
+        symbol: MemorySymbol,
+        affinity: AffinityPolicy,
+        data_node: NodeId,
+        mode: AccessMode,
+    ) -> Self {
+        Trend {
+            label: label.to_string(),
+            symbol,
+            setup: TrendSetup::Setup1,
+            affinity,
+            data_node,
+            mode,
+        }
+    }
+
+    fn setup2(
+        label: &str,
+        symbol: MemorySymbol,
+        affinity: AffinityPolicy,
+        data_node: NodeId,
+        mode: AccessMode,
+    ) -> Self {
+        Trend {
+            label: label.to_string(),
+            symbol,
+            setup: TrendSetup::Setup2,
+            affinity,
+            data_node,
+            mode,
+        }
+    }
+
+    /// Instantiates the runtime this trend runs on.
+    pub fn runtime(&self) -> CxlPmemRuntime {
+        match self.setup {
+            TrendSetup::Setup1 => CxlPmemRuntime::setup1(),
+            TrendSetup::Setup2 => CxlPmemRuntime::setup2(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_pmem::SetupKind;
+
+    #[test]
+    fn five_groups_with_paper_titles() {
+        assert_eq!(TestGroup::ALL.len(), 5);
+        assert!(TestGroup::Class1aLocalPmem.title().contains("Local memory"));
+        assert!(TestGroup::Class2bRemoteNumaAllCores.title().contains("all cores"));
+        assert_eq!(TestGroup::Class1aLocalPmem.subfigure(), 'a');
+        assert_eq!(TestGroup::Class2bRemoteNumaAllCores.subfigure(), 'e');
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for (s, g) in [
+            ("1a", TestGroup::Class1aLocalPmem),
+            ("1b", TestGroup::Class1bRemotePmem),
+            ("1c", TestGroup::Class1cAffinity),
+            ("2a", TestGroup::Class2aRemoteNuma),
+            ("2b", TestGroup::Class2bRemoteNumaAllCores),
+        ] {
+            assert_eq!(TestGroup::parse(s), Some(g));
+        }
+        assert_eq!(TestGroup::parse("3c"), None);
+    }
+
+    #[test]
+    fn app_direct_groups_use_pmem_mode_and_memory_groups_use_numa() {
+        for group in [
+            TestGroup::Class1aLocalPmem,
+            TestGroup::Class1bRemotePmem,
+            TestGroup::Class1cAffinity,
+        ] {
+            assert!(group.trends().iter().all(|t| t.mode == AccessMode::AppDirect));
+        }
+        for group in [TestGroup::Class2aRemoteNuma, TestGroup::Class2bRemoteNumaAllCores] {
+            assert!(group.trends().iter().all(|t| t.mode == AccessMode::MemoryMode));
+        }
+    }
+
+    #[test]
+    fn affinity_groups_sweep_twenty_threads() {
+        assert_eq!(TestGroup::Class1cAffinity.max_threads(), 20);
+        assert_eq!(TestGroup::Class1aLocalPmem.max_threads(), 10);
+        // 1.c has both close and spread trends.
+        let labels: Vec<String> = TestGroup::Class1cAffinity
+            .trends()
+            .iter()
+            .map(|t| t.label.clone())
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("close")));
+        assert!(labels.iter().any(|l| l.contains("spread")));
+    }
+
+    #[test]
+    fn setup2_trends_only_appear_in_memory_mode_groups() {
+        for group in TestGroup::ALL {
+            for trend in group.trends() {
+                if trend.setup == TrendSetup::Setup2 {
+                    assert_eq!(trend.mode, AccessMode::MemoryMode);
+                    assert_eq!(trend.symbol.glyph(), '▲');
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trend_runtimes_match_their_setup() {
+        let trend = &TestGroup::Class2aRemoteNuma.trends()[2];
+        assert_eq!(trend.setup, TrendSetup::Setup2);
+        assert_eq!(trend.runtime().setup(), SetupKind::XeonGoldDdr4);
+        let trend = &TestGroup::Class1bRemotePmem.trends()[1];
+        assert_eq!(trend.runtime().setup(), SetupKind::SapphireRapidsCxl);
+    }
+}

@@ -1,0 +1,32 @@
+//! STREAMer — the automated evaluation harness.
+//!
+//! The paper open-sources its benchmarking methodology as "an easy-to-use and
+//! automated tool named STREAMer" (§1.4). This crate is that tool for the
+//! reproduction: it encodes the five test groups of §3.2, sweeps thread
+//! counts, drives the simulated STREAM/STREAM-PMem runs through the
+//! `cxl-pmem` runtime, and emits every figure and table of the evaluation:
+//!
+//! * [`groups`] — classes 1.(a)–2.(b): which cores run, which memory is
+//!   targeted, in which mode, under which affinity.
+//! * [`figures`] — Figures 5–8 (Scale, Add, Copy, Triad): one series per
+//!   trend, bandwidth vs thread count, emitted as CSV/Markdown.
+//! * [`tables`] — Table 1 (PMem modes), Table 2 (CXL vs NVRAM), and the
+//!   headline peak-bandwidth comparison against published DCPMM numbers.
+//! * [`analysis`] — the §4 derived claims (remote −30 %, CXL −50 %, 2–3 GB/s
+//!   fabric cost, 10–15 % PMDK overhead) recomputed from the model.
+//! * [`dataflow`] — ASCII renderings of the setup/data-flow diagrams
+//!   (Figures 1–4 and 9).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod dataflow;
+pub mod figures;
+pub mod groups;
+pub mod tables;
+
+pub use analysis::Analysis;
+pub use figures::{FigureData, TrendSeries};
+pub use groups::{TestGroup, Trend};
+pub use tables::{headline_table, table1, table2};

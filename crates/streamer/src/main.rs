@@ -1,0 +1,209 @@
+//! `streamer` — the command-line front end of the evaluation harness.
+//!
+//! ```text
+//! streamer figure --kernel scale [--group 1b] [--csv] [--out DIR]
+//! streamer group  1a|1b|1c|2a|2b [--kernel triad]
+//! streamer table  1|2|headline
+//! streamer analysis
+//! streamer topology [--setup 1|2|dcpmm]
+//! streamer all --out DIR
+//! ```
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use streamer::figures::FigureData;
+use streamer::groups::TestGroup;
+use streamer::{analysis::Analysis, dataflow, headline_table, table1, table2};
+use stream_bench::Kernel;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
+}
+
+/// Parses `--key value` and `--flag` style options.
+fn parse_options(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut options = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(key) = arg.strip_prefix("--") {
+            let value = args.get(i + 1);
+            match value {
+                Some(v) if !v.starts_with("--") => {
+                    options.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    options.insert(key.to_string(), String::from("true"));
+                    i += 1;
+                }
+            }
+        } else {
+            positional.push(arg.clone());
+            i += 1;
+        }
+    }
+    (positional, options)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".to_string());
+    };
+    let rest = &args[1..];
+    let (positional, options) = parse_options(rest);
+    match command.as_str() {
+        "figure" => cmd_figure(&options),
+        "group" => cmd_group(&positional, &options),
+        "table" => cmd_table(&positional),
+        "analysis" => cmd_analysis(),
+        "topology" => cmd_topology(&options),
+        "all" => cmd_all(&options),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn kernel_from(options: &HashMap<String, String>) -> Result<Kernel, String> {
+    let name = options.get("kernel").map(String::as_str).unwrap_or("triad");
+    Kernel::parse(name).ok_or_else(|| format!("unknown kernel '{name}'"))
+}
+
+fn emit(path: Option<&PathBuf>, name: &str, content: &str) -> Result<(), String> {
+    match path {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let file = dir.join(name);
+            std::fs::write(&file, content).map_err(|e| e.to_string())?;
+            println!("wrote {}", file.display());
+            Ok(())
+        }
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_figure(options: &HashMap<String, String>) -> Result<(), String> {
+    let kernel = kernel_from(options)?;
+    let out = options.get("out").map(PathBuf::from);
+    let csv = options.contains_key("csv");
+    let groups: Vec<TestGroup> = match options.get("group") {
+        Some(g) => vec![TestGroup::parse(g).ok_or_else(|| format!("unknown group '{g}'"))?],
+        None => TestGroup::ALL.to_vec(),
+    };
+    for group in groups {
+        let figure = FigureData::generate(kernel, group).map_err(|e| e.to_string())?;
+        let (name, content) = if csv {
+            (
+                format!("figure{}{}_{}.csv", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                figure.to_csv(),
+            )
+        } else {
+            (
+                format!("figure{}{}_{}.md", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                figure.to_markdown(),
+            )
+        };
+        emit(out.as_ref(), &name, &content)?;
+    }
+    Ok(())
+}
+
+fn cmd_group(positional: &[String], options: &HashMap<String, String>) -> Result<(), String> {
+    let Some(group_name) = positional.first() else {
+        return Err("group command needs a group id (1a..2b)".to_string());
+    };
+    let group = TestGroup::parse(group_name).ok_or_else(|| format!("unknown group '{group_name}'"))?;
+    let kernel = kernel_from(options)?;
+    let figure = FigureData::generate(kernel, group).map_err(|e| e.to_string())?;
+    println!("{}", figure.to_markdown());
+    println!("{}", dataflow::render_dataflow(group));
+    Ok(())
+}
+
+fn cmd_table(positional: &[String]) -> Result<(), String> {
+    let which = positional.first().map(String::as_str).unwrap_or("headline");
+    let table = match which {
+        "1" => {
+            let runtime = cxl_pmem::CxlPmemRuntime::setup1();
+            table1(&runtime).map_err(|e| e.to_string())?
+        }
+        "2" => table2().map_err(|e| e.to_string())?,
+        "headline" => headline_table().map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown table '{other}' (use 1, 2 or headline)")),
+    };
+    println!("{}", table.to_markdown());
+    Ok(())
+}
+
+fn cmd_analysis() -> Result<(), String> {
+    let analysis = Analysis::compute().map_err(|e| e.to_string())?;
+    println!("{}", analysis.to_markdown());
+    if analysis.all_hold() {
+        println!("all paper claims hold in the reproduction");
+        Ok(())
+    } else {
+        Err("some paper claims do not hold — see the table above".to_string())
+    }
+}
+
+fn cmd_topology(options: &HashMap<String, String>) -> Result<(), String> {
+    let runtime = match options.get("setup").map(String::as_str) {
+        None | Some("1") => cxl_pmem::CxlPmemRuntime::setup1(),
+        Some("2") => cxl_pmem::CxlPmemRuntime::setup2(),
+        Some("dcpmm") => cxl_pmem::CxlPmemRuntime::dcpmm_baseline(),
+        Some(other) => return Err(format!("unknown setup '{other}'")),
+    };
+    println!("{}", dataflow::render_migration_overview());
+    println!("{}", dataflow::render_topology(&runtime));
+    Ok(())
+}
+
+fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
+    let out = options
+        .get("out")
+        .map(PathBuf::from)
+        .ok_or("'all' requires --out DIR")?;
+    // Figures 5-8, all sub-figures, CSV + Markdown.
+    for kernel in Kernel::ALL {
+        for group in TestGroup::ALL {
+            let figure = FigureData::generate(kernel, group).map_err(|e| e.to_string())?;
+            emit(
+                Some(&out),
+                &format!("figure{}{}_{}.csv", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                &figure.to_csv(),
+            )?;
+            emit(
+                Some(&out),
+                &format!("figure{}{}_{}.md", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                &figure.to_markdown(),
+            )?;
+        }
+    }
+    let runtime = cxl_pmem::CxlPmemRuntime::setup1();
+    emit(Some(&out), "table1.md", &table1(&runtime).map_err(|e| e.to_string())?.to_markdown())?;
+    emit(Some(&out), "table2.md", &table2().map_err(|e| e.to_string())?.to_markdown())?;
+    emit(Some(&out), "headline.md", &headline_table().map_err(|e| e.to_string())?.to_markdown())?;
+    emit(
+        Some(&out),
+        "analysis.md",
+        &Analysis::compute().map_err(|e| e.to_string())?.to_markdown(),
+    )?;
+    Ok(())
+}

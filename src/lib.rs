@@ -1,0 +1,39 @@
+//! `streamer-repro` — workspace facade for the SC'23 reproduction of
+//! *CXL Memory as Persistent Memory for Disaggregated HPC: A Practical
+//! Approach*.
+//!
+//! This crate re-exports the workspace's public APIs under one roof so the
+//! examples and integration tests (and downstream users who just want "the
+//! whole thing") can depend on a single crate:
+//!
+//! * [`cxl_pmem`] — the CXL-as-PMem runtime (the paper's contribution).
+//! * [`pmem`] — the PMDK-style persistent object store.
+//! * [`cxl`] — the CXL protocol/device model (Type-3 endpoint, FPGA prototype,
+//!   switch pooling, multi-headed sharing).
+//! * [`memsim`] — the calibrated analytical memory-system model.
+//! * [`numa`] — topology, affinity and memory-binding policies.
+//! * [`stream`] — STREAM / STREAM-PMem kernels and the simulated runner.
+//! * [`streamer`] — the evaluation harness regenerating every figure/table.
+
+pub use cxl;
+pub use cxl_pmem;
+pub use memsim;
+pub use numa;
+pub use pmem;
+pub use streamer;
+
+/// The STREAM / STREAM-PMem crate (named `stream-bench` on crates.io-style
+/// naming; re-exported as `stream` for readability).
+pub use stream_bench as stream;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        // A single line touching each re-export keeps the facade honest.
+        let runtime = crate::cxl_pmem::CxlPmemRuntime::setup1();
+        assert_eq!(runtime.topology().nodes().len(), 3);
+        assert_eq!(crate::stream::Kernel::Triad.figure_number(), 8);
+        assert_eq!(crate::streamer::groups::TestGroup::ALL.len(), 5);
+    }
+}

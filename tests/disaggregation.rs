@@ -1,0 +1,138 @@
+//! Disaggregation-oriented integration tests: switch pooling, multi-host
+//! sharing of the far-memory segment, and Memory-Mode capacity expansion.
+
+use std::sync::Arc;
+use streamer_repro::cxl::{CoherenceMode, CxlSwitch, FpgaPrototype, SharedRegion};
+use streamer_repro::cxl_pmem::{CxlPmemRuntime, ExpansionPlan};
+use streamer_repro::numa::AffinityPolicy;
+
+const GIB: u64 = 1024 * 1024 * 1024;
+
+#[test]
+fn rack_pool_provisions_and_reclaims_capacity_across_hosts() {
+    let mut switch = CxlSwitch::new("rack");
+    for _ in 0..4 {
+        switch.attach_device(FpgaPrototype::paper_prototype().endpoint());
+    }
+    assert_eq!(switch.total_capacity(), 64 * GIB);
+    // Three hosts grab capacity; the pool tracks per-host assignment.
+    // (Allocations never span devices, so each request must fit one 16 GiB card.)
+    let a = switch.allocate(0, 10 * GIB).unwrap();
+    let b = switch.allocate(1, 16 * GIB).unwrap();
+    let c = switch.allocate(2, 16 * GIB).unwrap();
+    let _d = switch.allocate(2, 12 * GIB).unwrap();
+    assert_eq!(switch.assigned_to(0), 10 * GIB);
+    assert_eq!(switch.assigned_to(1), 16 * GIB);
+    assert_eq!(switch.assigned_to(2), 28 * GIB);
+    // Only 6 + 4 GiB fragments remain, and neither fits a whole 16 GiB request.
+    assert!(switch.allocate(3, 16 * GIB).is_err());
+    // Host 2 releases a card-sized allocation; host 3 can now be provisioned
+    // (dynamic capacity).
+    switch.release(c.id).unwrap();
+    assert!(switch.allocate(3, 16 * GIB).is_ok());
+    // Ports can be bound exclusively, and rebound after unbinding.
+    switch.bind_port(a.port, 0).unwrap();
+    assert!(switch.bind_port(a.port, 1).is_err());
+    switch.unbind_port(a.port).unwrap();
+    switch.bind_port(b.port, 1).unwrap();
+}
+
+#[test]
+fn two_hosts_coordinate_through_the_shared_far_memory_segment() {
+    let card = FpgaPrototype::paper_prototype();
+    let region = Arc::new(
+        SharedRegion::new(card.endpoint(), 0, 1 * GIB, CoherenceMode::SoftwareManaged).unwrap(),
+    );
+    region.attach(0);
+    region.attach(1);
+
+    // Host 0 and host 1 ping-pong a counter through the far memory, following
+    // the publish/acquire discipline, from two real threads.
+    let rounds = 16u64;
+    std::thread::scope(|scope| {
+        let writer = Arc::clone(&region);
+        scope.spawn(move || {
+            for round in 1..=rounds {
+                writer.write(0, 0, &round.to_le_bytes()).unwrap();
+                writer.publish(0).unwrap();
+            }
+        });
+        let reader = Arc::clone(&region);
+        scope.spawn(move || {
+            let mut last_seen = 0u64;
+            while last_seen < rounds {
+                reader.acquire(1).unwrap();
+                let mut buf = [0u8; 8];
+                reader.read(1, 0, &mut buf).unwrap();
+                let value = u64::from_le_bytes(buf);
+                assert!(value >= last_seen, "counter must never move backwards");
+                last_seen = last_seen.max(value);
+            }
+        });
+    });
+    let stats0 = region.stats(0).unwrap();
+    let stats1 = region.stats(1).unwrap();
+    assert_eq!(stats0.publishes, rounds);
+    assert!(stats1.acquires >= 1);
+    assert!(stats1.bytes_read >= 8);
+}
+
+#[test]
+fn memory_mode_expansion_trades_bandwidth_for_capacity() {
+    let runtime = CxlPmemRuntime::setup1();
+    let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
+    let fits_locally = ExpansionPlan::spill(runtime.machine(), 32 * GIB, &[0, 2]).unwrap();
+    let spills = ExpansionPlan::spill(runtime.machine(), 76 * GIB, &[0, 2]).unwrap();
+    assert_eq!(fits_locally.fraction_on(2), 0.0);
+    assert!(spills.fraction_on(2) > 0.1);
+
+    let bytes_per_thread = 2 * GIB;
+    let local_only = runtime
+        .simulate_expansion_phase("fits", &placement, &fits_locally, bytes_per_thread, bytes_per_thread / 2)
+        .unwrap();
+    let expanded = runtime
+        .simulate_expansion_phase("spills", &placement, &spills, bytes_per_thread, bytes_per_thread / 2)
+        .unwrap();
+    // A sweep that places *everything* on the expander (the naive membind=2
+    // configuration) is much slower than both the local run and the spill plan
+    // that only sends the overflow there.
+    let all_on_cxl = runtime
+        .simulate_stream_phase(
+            "cxl-only",
+            &placement,
+            2,
+            bytes_per_thread,
+            bytes_per_thread / 2,
+            streamer_repro::cxl_pmem::AccessMode::MemoryMode,
+        )
+        .unwrap();
+    assert!(local_only.bandwidth_gbs > all_on_cxl.bandwidth_gbs);
+    assert!(expanded.bandwidth_gbs > all_on_cxl.bandwidth_gbs);
+    assert!(expanded.bandwidth_gbs > 0.0);
+    // And a dataset that exceeds DRAM+CXL is correctly rejected.
+    assert!(ExpansionPlan::spill(runtime.machine(), 1000 * GIB, &[0, 2]).is_err());
+}
+
+#[test]
+fn upgraded_prototype_narrows_the_gap_to_local_ddr5() {
+    // The paper's §2.2/§6 upgrade path: DDR5-5600 and four channels behind the
+    // same CXL link should bring the expander close to the UPI-remote tier.
+    let baseline = CxlPmemRuntime::setup1();
+    let upgraded = CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4), None);
+    let placement = baseline.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
+    let gb = 1_000_000_000u64;
+    let base_cxl = baseline
+        .simulate_stream_phase("base", &placement, 2, gb, gb / 2, streamer_repro::cxl_pmem::AccessMode::MemoryMode)
+        .unwrap()
+        .bandwidth_gbs;
+    let upgraded_cxl = upgraded
+        .simulate_stream_phase("upgraded", &placement, 2, gb, gb / 2, streamer_repro::cxl_pmem::AccessMode::MemoryMode)
+        .unwrap()
+        .bandwidth_gbs;
+    let remote_ddr5 = baseline
+        .simulate_stream_phase("remote", &placement, 1, gb, gb / 2, streamer_repro::cxl_pmem::AccessMode::MemoryMode)
+        .unwrap()
+        .bandwidth_gbs;
+    assert!(upgraded_cxl > 1.5 * base_cxl);
+    assert!(upgraded_cxl > 0.8 * remote_ddr5, "upgraded {upgraded_cxl} vs remote {remote_ddr5}");
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration tests spanning the whole workspace: the harness
+//! reproduces the paper's qualitative results from the public API alone.
+
+use streamer_repro::cxl_pmem::{AccessMode, CxlPmemRuntime, TierPolicy};
+use streamer_repro::numa::AffinityPolicy;
+use streamer_repro::stream::{Kernel, SimulatedStream, StreamConfig};
+use streamer_repro::streamer::figures::FigureData;
+use streamer_repro::streamer::groups::TestGroup;
+use streamer_repro::streamer::{analysis::Analysis, headline_table, table1, table2};
+
+fn small() -> StreamConfig {
+    StreamConfig::small(1_000_000)
+}
+
+#[test]
+fn every_figure_subfigure_generates_for_every_kernel() {
+    for kernel in Kernel::ALL {
+        for group in TestGroup::ALL {
+            let figure = FigureData::generate_with_config(kernel, group, small())
+                .unwrap_or_else(|e| panic!("{:?} x {:?}: {e}", kernel, group));
+            assert_eq!(figure.figure, kernel.figure_number());
+            assert!(!figure.trends.is_empty());
+            for trend in &figure.trends {
+                assert!(!trend.points.is_empty());
+                assert!(trend.points.iter().all(|&(_, bw)| bw > 0.0));
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_shape_cxl_below_remote_below_local() {
+    // The core qualitative result, checked on the Scale kernel (Figure 5).
+    let local = FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1aLocalPmem, small())
+        .unwrap();
+    let remote = FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1bRemotePmem, small())
+        .unwrap();
+    let local_peak = local.trends[0].peak_gbs();
+    let remote_ddr5_peak = remote
+        .trends
+        .iter()
+        .find(|t| t.label.contains("remote DDR5"))
+        .unwrap()
+        .peak_gbs();
+    let cxl_peak = remote
+        .trends
+        .iter()
+        .find(|t| t.label.contains("CXL"))
+        .unwrap()
+        .peak_gbs();
+    assert!(local_peak > remote_ddr5_peak);
+    assert!(remote_ddr5_peak > cxl_peak);
+    // And the CXL prototype still beats published DCPMM read bandwidth.
+    assert!(cxl_peak > 6.6);
+}
+
+#[test]
+fn all_section4_claims_hold() {
+    let analysis = Analysis::compute().unwrap();
+    assert!(analysis.all_hold(), "{}", analysis.to_markdown());
+}
+
+#[test]
+fn tables_render_and_are_internally_consistent() {
+    let runtime = CxlPmemRuntime::setup1();
+    let t1 = table1(&runtime).unwrap();
+    assert_eq!(t1.rows.len(), 5);
+    let t2 = table2().unwrap();
+    assert_eq!(t2.rows.len(), 7);
+    let headline = headline_table().unwrap();
+    assert!(headline.to_markdown().contains("DCPMM"));
+    assert!(headline.to_csv().lines().count() >= 7);
+}
+
+#[test]
+fn app_direct_pool_and_simulation_agree_on_the_cxl_tier() {
+    // Provision a real pool on the expander and cross-check the simulated
+    // bandwidth for the same tier/mode — both must identify node 2 / App-Direct.
+    let runtime = CxlPmemRuntime::setup1();
+    let pool = runtime
+        .provision_pool(&TierPolicy::CxlExpander, "e2e", 16 * 1024 * 1024)
+        .unwrap();
+    assert_eq!(pool.node(), 2);
+    let stream = SimulatedStream::new(&runtime, small());
+    let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 8).unwrap();
+    let point = stream
+        .simulate(Kernel::Copy, &placement, pool.node(), AccessMode::AppDirect)
+        .unwrap();
+    assert!(point.bandwidth_gbs > 5.0 && point.bandwidth_gbs < 13.0);
+}
+
+#[test]
+fn spread_and_close_affinity_differ_at_partial_occupancy() {
+    // Class 1.(c): with 4 of 20 threads, close keeps everything on socket 0
+    // (all accesses local) while spread splits 2/2 (half the threads reach the
+    // socket-0 pool over UPI) — before the DIMM saturates, the two placements
+    // must produce different bandwidth, as the paper observes.
+    let runtime = CxlPmemRuntime::setup1();
+    let stream = SimulatedStream::new(&runtime, small());
+    let close = runtime.place(&AffinityPolicy::close(), 4).unwrap();
+    let spread = runtime.place(&AffinityPolicy::spread(), 4).unwrap();
+    let close_bw = stream
+        .simulate(Kernel::Add, &close, 0, AccessMode::AppDirect)
+        .unwrap()
+        .bandwidth_gbs;
+    let spread_bw = stream
+        .simulate(Kernel::Add, &spread, 0, AccessMode::AppDirect)
+        .unwrap()
+        .bandwidth_gbs;
+    assert!(
+        (close_bw - spread_bw).abs() / close_bw > 0.02,
+        "close {close_bw} vs spread {spread_bw} should differ at partial occupancy"
+    );
+}
