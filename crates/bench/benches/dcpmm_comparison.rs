@@ -9,7 +9,10 @@ use stream_bench::{Kernel, SimulatedStream, StreamConfig};
 use streamer::headline_table;
 
 fn dcpmm_comparison(c: &mut Criterion) {
-    println!("{}", headline_table().expect("headline table").to_markdown());
+    println!(
+        "{}",
+        headline_table().expect("headline table").to_markdown()
+    );
 
     let cxl_runtime = CxlPmemRuntime::setup1();
     let dcpmm_runtime = CxlPmemRuntime::dcpmm_baseline();

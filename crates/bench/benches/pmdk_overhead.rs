@@ -28,7 +28,7 @@ fn pmdk_overhead(c: &mut Criterion) {
     let config = StreamConfig::small(100_000);
     group.bench_function("stream_volatile_functional", |b| {
         b.iter(|| {
-            let stream = VolatileStream::new(config);
+            let mut stream = VolatileStream::new(config);
             black_box(stream.run(&worker_pool));
         })
     });

@@ -1,0 +1,232 @@
+//! Hot-path comparison: the legacy copy-out/copy-back `RwLock` execution core
+//! (reconstructed inline) vs the zero-copy partitioned engine, plus the naive
+//! vs memoised analytical sweep. Results land in `BENCH_stream.json` at the
+//! repository root so regressions are diffable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use numa::{AffinityPolicy, PinnedPool, ThreadPlacement, WorkerCtx};
+use parking_lot::RwLock;
+use std::hint::black_box;
+use std::time::Instant;
+use stream_bench::{Kernel, SimulatedStream, StreamConfig, VolatileStream};
+
+const ELEMENTS: usize = 1_000_000;
+const THREADS: usize = 8;
+const NTIMES: usize = 5;
+
+/// The pre-rewrite execution core, kept verbatim as the benchmark baseline:
+/// every worker copies its chunk of all three arrays out of a `RwLock`,
+/// computes on the copies, and copies the written array back.
+struct LegacyCopyPathStream {
+    config: StreamConfig,
+    a: RwLock<Vec<f64>>,
+    b: RwLock<Vec<f64>>,
+    c: RwLock<Vec<f64>>,
+}
+
+impl LegacyCopyPathStream {
+    fn new(config: StreamConfig) -> Self {
+        LegacyCopyPathStream {
+            config,
+            a: RwLock::new(vec![2.0; config.elements]),
+            b: RwLock::new(vec![2.0; config.elements]),
+            c: RwLock::new(vec![0.0; config.elements]),
+        }
+    }
+
+    fn run_kernel_once(&self, kernel: Kernel, pool: &PinnedPool) -> f64 {
+        let scalar = self.config.scalar;
+        let elements = self.config.elements;
+        let start = Instant::now();
+        let (a, b, c) = (&self.a, &self.b, &self.c);
+        pool.run(|ctx: WorkerCtx| {
+            let (lo, hi) = ctx.chunk(elements);
+            if lo == hi {
+                return;
+            }
+            let mut a_chunk = a.read()[lo..hi].to_vec();
+            let mut b_chunk = b.read()[lo..hi].to_vec();
+            let mut c_chunk = c.read()[lo..hi].to_vec();
+            kernel.apply(&mut a_chunk, &mut b_chunk, &mut c_chunk, scalar);
+            match kernel {
+                Kernel::Copy | Kernel::Add => c.write()[lo..hi].copy_from_slice(&c_chunk),
+                Kernel::Scale => b.write()[lo..hi].copy_from_slice(&b_chunk),
+                Kernel::Triad => a.write()[lo..hi].copy_from_slice(&a_chunk),
+            }
+        });
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Runs the full `ntimes` × Copy→Scale→Add→Triad sequence.
+    fn run_sequence(&self, pool: &PinnedPool) {
+        for _ in 0..self.config.ntimes {
+            for kernel in Kernel::ALL {
+                self.run_kernel_once(kernel, pool);
+            }
+        }
+    }
+
+    /// Best-of-N bandwidth (GB/s) for one kernel.
+    fn best_bandwidth_gbs(&self, kernel: Kernel, pool: &PinnedPool) -> f64 {
+        let bytes = self.config.bytes_per_invocation(kernel) as f64;
+        (0..self.config.ntimes)
+            .map(|_| bytes / 1e9 / self.run_kernel_once(kernel, pool))
+            .fold(0.0, f64::max)
+    }
+}
+
+fn worker_pool(threads: usize) -> PinnedPool {
+    let topo = numa::topology::sapphire_rapids_cxl();
+    let placement = AffinityPolicy::close()
+        .place(&topo, threads)
+        .expect("placement");
+    PinnedPool::new(&topo, &placement)
+}
+
+fn placements(runtime: &CxlPmemRuntime, max: usize) -> Vec<ThreadPlacement> {
+    (1..=max)
+        .map(|t| {
+            AffinityPolicy::SingleSocket(0)
+                .place(runtime.topology(), t)
+                .expect("placement")
+        })
+        .collect()
+}
+
+/// Walks the full figure grid (4 kernels × 10 thread counts × 3 nodes × 2
+/// modes = 240 points) through either the naive per-call engine path or the
+/// memoised one, on a caller-provided (possibly warm) runtime. Returns the
+/// elapsed seconds.
+fn walk_grid(stream: &SimulatedStream<'_>, placements: &[ThreadPlacement], cached: bool) -> f64 {
+    let start = Instant::now();
+    for kernel in Kernel::ALL {
+        for node in 0..3usize {
+            for mode in [AccessMode::AppDirect, AccessMode::MemoryMode] {
+                for placement in placements {
+                    if cached {
+                        let report = stream
+                            .simulate_report_cached(kernel, placement, node, mode)
+                            .expect("simulation");
+                        black_box(report.bandwidth_gbs);
+                    } else {
+                        let report = stream
+                            .simulate_report(kernel, placement, node, mode)
+                            .expect("simulation");
+                        black_box(report.bandwidth_gbs);
+                    }
+                }
+            }
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn stream_hotpath(c: &mut Criterion) {
+    let config = StreamConfig {
+        elements: ELEMENTS,
+        ntimes: NTIMES,
+        scalar: 3.0,
+    };
+    let pool = worker_pool(THREADS);
+
+    // --- headline numbers for BENCH_stream.json ----------------------------
+    let mut zero_copy = VolatileStream::new(config);
+    let zero_copy_report = zero_copy.run(&pool);
+    let mut kernel_rows = Vec::new();
+    for kernel in Kernel::ALL {
+        let legacy = LegacyCopyPathStream::new(config).best_bandwidth_gbs(kernel, &pool);
+        let fast = zero_copy_report
+            .best_bandwidth_gbs(kernel)
+            .expect("measured");
+        let speedup = fast / legacy;
+        println!(
+            "{:<6} {THREADS}t {ELEMENTS}e  copy-path {legacy:7.2} GB/s  zero-copy {fast:7.2} GB/s  speedup {speedup:.2}x",
+            kernel.name()
+        );
+        kernel_rows.push(format!(
+            "    \"{}\": {{\"copy_path_gbs\": {}, \"zero_copy_gbs\": {}, \"speedup\": {}}}",
+            kernel.name(),
+            json_number(legacy),
+            json_number(fast),
+            json_number(speedup)
+        ));
+    }
+
+    // Grid timings on one long-lived runtime — the shape the harness uses
+    // (figures, tables and analysis all sweep the same engine repeatedly).
+    let runtime = CxlPmemRuntime::setup1();
+    let stream = SimulatedStream::paper(&runtime);
+    let grid_placements = placements(&runtime, 10);
+    let naive_s = (0..NTIMES)
+        .map(|_| walk_grid(&stream, &grid_placements, false))
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(
+        runtime.engine().cache_stats(),
+        (0, 0),
+        "naive path must not touch the cache"
+    );
+    let cached_cold_s = walk_grid(&stream, &grid_placements, true);
+    let (cold_hits, cold_misses) = runtime.engine().cache_stats();
+    let cached_warm_s = (0..NTIMES)
+        .map(|_| walk_grid(&stream, &grid_placements, true))
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "sweep grid (240 points): naive {naive_s:.6}s, cached cold {cached_cold_s:.6}s \
+         ({cold_hits} hits / {cold_misses} misses), cached warm {cached_warm_s:.6}s, \
+         warm speedup {:.2}x",
+        naive_s / cached_warm_s
+    );
+
+    let json = format!(
+        "{{\n  \"elements\": {ELEMENTS},\n  \"threads\": {THREADS},\n  \"ntimes\": {NTIMES},\n  \
+         \"kernels\": {{\n{}\n  }},\n  \"sweep_grid\": {{\n    \"points\": 240,\n    \
+         \"naive_seconds\": {},\n    \"cached_cold_seconds\": {},\n    \
+         \"cached_warm_seconds\": {},\n    \"warm_speedup\": {},\n    \
+         \"cold_cache_hits\": {cold_hits},\n    \"cold_cache_misses\": {cold_misses}\n  }}\n}}\n",
+        kernel_rows.join(",\n"),
+        json_number(naive_s),
+        json_number(cached_cold_s),
+        json_number(cached_warm_s),
+        json_number(naive_s / cached_warm_s),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    std::fs::write(out, json).expect("write BENCH_stream.json");
+    println!("wrote {out}");
+
+    // --- criterion timing output -------------------------------------------
+    let mut group = c.benchmark_group("stream_hotpath");
+    group.sample_size(10);
+    group.bench_function("copy_path_sequence", |b| {
+        let stream = LegacyCopyPathStream::new(config);
+        b.iter(|| stream.run_sequence(&pool))
+    });
+    group.bench_function("zero_copy_sequence", |b| {
+        let mut stream = VolatileStream::new(config);
+        b.iter(|| black_box(stream.run(&pool)))
+    });
+    for kernel in [Kernel::Copy, Kernel::Triad] {
+        group.bench_function(format!("copy_path_{}", kernel.name()), |b| {
+            let stream = LegacyCopyPathStream::new(config);
+            b.iter(|| black_box(stream.run_kernel_once(kernel, &pool)))
+        });
+    }
+    group.bench_function("sweep_grid_naive", |b| {
+        b.iter(|| black_box(walk_grid(&stream, &grid_placements, false)))
+    });
+    group.bench_function("sweep_grid_cached_warm", |b| {
+        b.iter(|| black_box(walk_grid(&stream, &grid_placements, true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, stream_hotpath);
+criterion_main!(benches);

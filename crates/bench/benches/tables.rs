@@ -15,7 +15,9 @@ fn tables(c: &mut Criterion) {
     group.bench_function("table1", |b| {
         b.iter(|| black_box(table1(&runtime).expect("table 1")))
     });
-    group.bench_function("table2", |b| b.iter(|| black_box(table2().expect("table 2"))));
+    group.bench_function("table2", |b| {
+        b.iter(|| black_box(table2().expect("table 2")))
+    });
     group.finish();
 }
 

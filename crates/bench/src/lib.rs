@@ -5,9 +5,9 @@
 //! captured into `bench_output.txt`) and then times the generation itself so
 //! `cargo bench` gives the usual statistical output.
 
+use stream_bench::Kernel;
 use streamer::figures::FigureData;
 use streamer::groups::TestGroup;
-use stream_bench::Kernel;
 
 /// Generates and prints every sub-figure of a paper figure (5–8) for `kernel`,
 /// returning the data so callers can also benchmark or assert on it.

@@ -107,7 +107,11 @@ impl PoolBackend for CxlDeviceBackend {
             self.device.name(),
             self.dpa_base,
             self.len,
-            if self.persistent { "battery-backed" } else { "volatile" }
+            if self.persistent {
+                "battery-backed"
+            } else {
+                "volatile"
+            }
         )
     }
 }
@@ -121,7 +125,11 @@ mod tests {
     const MIB: u64 = 1024 * 1024;
 
     fn device(capacity: u64) -> Arc<Type3Device> {
-        Arc::new(Type3Device::new("test-expander", capacity, LinkConfig::gen5_x16()))
+        Arc::new(Type3Device::new(
+            "test-expander",
+            capacity,
+            LinkConfig::gen5_x16(),
+        ))
     }
 
     #[test]
@@ -151,7 +159,10 @@ mod tests {
         assert!(backend.persist(16 * MIB - 10, 100).is_err());
         assert_eq!(dev.stats().gpf_flushes, 1);
         assert!(backend.is_persistent());
-        assert!(!CxlDeviceBackend::new(dev, 0, MIB).unwrap().volatile().is_persistent());
+        assert!(!CxlDeviceBackend::new(dev, 0, MIB)
+            .unwrap()
+            .volatile()
+            .is_persistent());
     }
 
     #[test]
@@ -173,8 +184,7 @@ mod tests {
     #[test]
     fn pool_on_expander_survives_reopen_and_rolls_back_crashes() {
         let dev = device(64 * MIB);
-        let mk_backend =
-            || CxlDeviceBackend::new(Arc::clone(&dev), 0, 32 * MIB).unwrap();
+        let mk_backend = || CxlDeviceBackend::new(Arc::clone(&dev), 0, 32 * MIB).unwrap();
         let oid = {
             let pool = PmemPool::create_with_backend(Arc::new(mk_backend()), "stream").unwrap();
             let array = PersistentArray::<u64>::allocate(&pool, 128).unwrap();
@@ -191,6 +201,9 @@ mod tests {
         let array = PersistentArray::<u64>::from_oid(&pool, oid);
         let mut values = vec![0u64; 128];
         array.load_slice(0, &mut values).unwrap();
-        assert!(values.iter().all(|&v| v == 11), "crash must roll back to 11s");
+        assert!(
+            values.iter().all(|&v| v == 11),
+            "crash must roll back to 11s"
+        );
     }
 }

@@ -9,10 +9,9 @@
 
 use memsim::calibration as cal;
 use memsim::DeviceSpec;
-use serde::{Deserialize, Serialize};
 
 /// How a pool (or a plain allocation) is accessed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessMode {
     /// Direct, transactional, byte-addressable access through the PMDK-style
     /// object store (`STREAM-PMem`, `pmem#N` in the paper's legends).
@@ -49,7 +48,7 @@ impl AccessMode {
 
 /// The measured properties of a device used in a given mode — one row set of
 /// Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModeProperties {
     /// Mode these properties describe.
     pub mode: AccessMode,
@@ -89,15 +88,17 @@ impl ModeProperties {
             mode,
             volatile: !(mode.retains_data() && device.is_persistent()),
             access: match mode {
-                AccessMode::AppDirect => {
-                    "transactional byte-addressable object store".to_string()
-                }
+                AccessMode::AppDirect => "transactional byte-addressable object store".to_string(),
                 AccessMode::MemoryMode => "cache-coherent memory expansion".to_string(),
             },
             capacity_bytes: device.capacity_bytes,
             relative_cost,
             effective_bandwidth_gbs: effective,
-            fraction_of_main_memory: if main_bw > 0.0 { effective / main_bw } else { 0.0 },
+            fraction_of_main_memory: if main_bw > 0.0 {
+                effective / main_bw
+            } else {
+                0.0
+            },
         }
     }
 }

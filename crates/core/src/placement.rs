@@ -12,10 +12,9 @@
 use memsim::Machine;
 use memsim::SimError;
 use numa::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Which NUMA node a pool or allocation should be placed on.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TierPolicy {
     /// The node local to the calling socket.
     LocalDram {
@@ -38,10 +37,9 @@ impl TierPolicy {
     pub fn resolve(&self, machine: &Machine) -> Result<NodeId, SimError> {
         let topo = machine.topology();
         match self {
-            TierPolicy::LocalDram { socket } => Ok(topo
-                .socket(*socket)
-                .map_err(SimError::from)?
-                .local_node),
+            TierPolicy::LocalDram { socket } => {
+                Ok(topo.socket(*socket).map_err(SimError::from)?.local_node)
+            }
             TierPolicy::RemoteDram { socket } => {
                 // The local node of any *other* socket.
                 let other = topo
@@ -73,7 +71,7 @@ impl TierPolicy {
 }
 
 /// How a Memory-Mode data set is distributed across tiers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExpansionPlan {
     /// `(node, bytes)` in placement order.
     pub parts: Vec<(NodeId, u64)>,

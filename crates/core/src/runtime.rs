@@ -250,10 +250,7 @@ impl CxlPmemRuntime {
                 None => return Err(RuntimeError::NoCxlDevice),
             }
         } else {
-            PmemPool::create_with_backend(
-                Arc::new(VolatileBackend::new_persistent(size)),
-                layout,
-            )?
+            PmemPool::create_with_backend(Arc::new(VolatileBackend::new_persistent(size)), layout)?
         };
         Ok(ManagedPool {
             pool,
@@ -263,6 +260,30 @@ impl CxlPmemRuntime {
     }
 
     // -------------------------------------------------------------- accounting
+
+    fn stream_phase(
+        &self,
+        label: &str,
+        placement: &ThreadPlacement,
+        data_node: NodeId,
+        read_bytes_per_thread: u64,
+        write_bytes_per_thread: u64,
+        mode: AccessMode,
+    ) -> TrafficPhase {
+        let overhead = mode.software_overhead();
+        TrafficPhase::from_threads(
+            label,
+            placement.cpus().iter().map(|&cpu| {
+                ThreadTraffic::sequential(
+                    cpu,
+                    data_node,
+                    read_bytes_per_thread,
+                    write_bytes_per_thread,
+                )
+                .with_overhead(overhead)
+            }),
+        )
+    }
 
     /// Simulates one kernel invocation: every placed thread streams
     /// `read_bytes` + `write_bytes` against `data_node` in `mode`.
@@ -275,15 +296,40 @@ impl CxlPmemRuntime {
         write_bytes_per_thread: u64,
         mode: AccessMode,
     ) -> crate::Result<PhaseReport> {
-        let overhead = mode.software_overhead();
-        let phase = TrafficPhase::from_threads(
+        let phase = self.stream_phase(
             label,
-            placement.cpus().iter().map(|&cpu| {
-                ThreadTraffic::sequential(cpu, data_node, read_bytes_per_thread, write_bytes_per_thread)
-                    .with_overhead(overhead)
-            }),
+            placement,
+            data_node,
+            read_bytes_per_thread,
+            write_bytes_per_thread,
+            mode,
         );
         self.engine.simulate(&phase).map_err(Into::into)
+    }
+
+    /// Memoised variant of [`simulate_stream_phase`](Self::simulate_stream_phase):
+    /// phases with identical traffic signatures reuse the engine's cached
+    /// verdict (shared via `Arc`, so hits cost a key hash plus a refcount
+    /// bump). Sweeps over figure grids hit this hard — kernels with equal
+    /// byte counts (Copy/Scale, Add/Triad) collapse to one evaluation.
+    pub fn simulate_stream_phase_cached(
+        &self,
+        label: &str,
+        placement: &ThreadPlacement,
+        data_node: NodeId,
+        read_bytes_per_thread: u64,
+        write_bytes_per_thread: u64,
+        mode: AccessMode,
+    ) -> crate::Result<Arc<PhaseReport>> {
+        let phase = self.stream_phase(
+            label,
+            placement,
+            data_node,
+            read_bytes_per_thread,
+            write_bytes_per_thread,
+            mode,
+        );
+        self.engine.simulate_cached(&phase).map_err(Into::into)
     }
 
     /// Simulates a phase whose data is spread over several nodes (Memory-Mode
@@ -387,11 +433,19 @@ mod tests {
     fn pool_on_dram_tiers_reports_the_right_mount() {
         let rt = CxlPmemRuntime::setup1();
         let local = rt
-            .provision_pool(&TierPolicy::LocalDram { socket: 0 }, "stream", 4 * 1024 * 1024)
+            .provision_pool(
+                &TierPolicy::LocalDram { socket: 0 },
+                "stream",
+                4 * 1024 * 1024,
+            )
             .unwrap();
         assert_eq!(local.mount(), "/mnt/pmem0");
         let remote = rt
-            .provision_pool(&TierPolicy::RemoteDram { socket: 0 }, "stream", 4 * 1024 * 1024)
+            .provision_pool(
+                &TierPolicy::RemoteDram { socket: 0 },
+                "stream",
+                4 * 1024 * 1024,
+            )
             .unwrap();
         assert_eq!(remote.mount(), "/mnt/pmem1");
     }
@@ -451,8 +505,7 @@ mod tests {
     fn expansion_phase_spreads_traffic() {
         let rt = CxlPmemRuntime::setup1();
         let placement = rt.place(&AffinityPolicy::SingleSocket(0), 8).unwrap();
-        let plan =
-            crate::placement::ExpansionPlan::spill(rt.machine(), 80 * GIB, &[0, 2]).unwrap();
+        let plan = crate::placement::ExpansionPlan::spill(rt.machine(), 80 * GIB, &[0, 2]).unwrap();
         let report = rt
             .simulate_expansion_phase("expansion", &placement, &plan, GB, GB / 2)
             .unwrap();

@@ -1,9 +1,7 @@
 //! CXL specification revisions, device types and link configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// CXL specification revision a device or link complies with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CxlSpec {
     /// CXL 1.1 — point-to-point device attachment below a root port.
     V1_1,
@@ -50,7 +48,7 @@ impl CxlSpec {
 }
 
 /// CXL device types defined by the specification (§1.3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CxlDeviceType {
     /// Type 1: caching device without device-attached memory (CXL.io + CXL.cache).
     Type1,
@@ -78,7 +76,7 @@ impl CxlDeviceType {
 }
 
 /// Physical link configuration of a CXL port.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Specification revision negotiated on the link.
     pub spec: CxlSpec,

@@ -16,7 +16,6 @@ use crate::transaction::{
 };
 use crate::Result;
 use parking_lot::{Mutex, RwLock};
-use serde::{Deserialize, Serialize};
 
 /// Well-known CXL.io register offsets implemented by the model.
 pub mod registers {
@@ -34,7 +33,7 @@ pub mod registers {
 }
 
 /// Aggregate statistics of a device's activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceStats {
     /// Cache lines read through CXL.mem.
     pub lines_read: u64,
@@ -209,7 +208,9 @@ impl Type3Device {
                 success: true,
             },
             MemOpcode::MemWr | MemOpcode::MemWrPtl => {
-                let data = request.data.ok_or(CxlError::NotReady("write without payload"))?;
+                let data = request
+                    .data
+                    .ok_or(CxlError::NotReady("write without payload"))?;
                 let enable = if request.opcode == MemOpcode::MemWr {
                     u64::MAX
                 } else {
@@ -244,7 +245,12 @@ impl Type3Device {
         Ok(line)
     }
 
-    fn write_line_dpa(&self, dpa: u64, data: &[u8; CACHE_LINE_BYTES], byte_enable: u64) -> Result<()> {
+    fn write_line_dpa(
+        &self,
+        dpa: u64,
+        data: &[u8; CACHE_LINE_BYTES],
+        byte_enable: u64,
+    ) -> Result<()> {
         let mut memory = self.memory.write();
         if !memory.in_bounds(dpa, CACHE_LINE_BYTES) {
             return Err(CxlError::OutOfBounds {
@@ -341,7 +347,8 @@ mod tests {
 
     fn enabled_device() -> Type3Device {
         let dev = Type3Device::new("test-cxl", 16 * MIB, LinkConfig::gen5_x16());
-        dev.program_hdm(HdmRange::linear(0x1000_0000, 16 * MIB, 0)).unwrap();
+        dev.program_hdm(HdmRange::linear(0x1000_0000, 16 * MIB, 0))
+            .unwrap();
         dev.set_memory_enable(true);
         dev
     }
@@ -349,10 +356,14 @@ mod tests {
     #[test]
     fn identification_registers_read_back() {
         let dev = Type3Device::new("id", 256 * MIB, LinkConfig::gen5_x16());
-        let id = dev.handle_io(&IoRequest::ConfigRead { offset: registers::REG_ID });
+        let id = dev.handle_io(&IoRequest::ConfigRead {
+            offset: registers::REG_ID,
+        });
         assert!(id.success);
         assert_eq!(id.value & 0xFFFF, 0x8086);
-        let cap = dev.handle_io(&IoRequest::ConfigRead { offset: registers::REG_CAPACITY });
+        let cap = dev.handle_io(&IoRequest::ConfigRead {
+            offset: registers::REG_CAPACITY,
+        });
         assert_eq!(cap.value, 1); // 256 MiB = one capacity unit
         let bad = dev.handle_io(&IoRequest::ConfigRead { offset: 0xFFFF });
         assert!(!bad.success);
@@ -393,11 +404,16 @@ mod tests {
     fn partial_write_honours_byte_enable() {
         let dev = enabled_device();
         let hpa = 0x1000_0000;
-        dev.handle_mem(&MemRequest::write(hpa, [0xFF; 64], 0)).unwrap();
+        dev.handle_mem(&MemRequest::write(hpa, [0xFF; 64], 0))
+            .unwrap();
         // Overwrite only the first 4 bytes.
         dev.handle_mem(&MemRequest::write_partial(hpa, [0x00; 64], 0xF, 1))
             .unwrap();
-        let data = dev.handle_mem(&MemRequest::read(hpa, 2)).unwrap().data.unwrap();
+        let data = dev
+            .handle_mem(&MemRequest::read(hpa, 2))
+            .unwrap()
+            .data
+            .unwrap();
         assert_eq!(&data[..4], &[0, 0, 0, 0]);
         assert_eq!(&data[4..8], &[0xFF; 4]);
     }
@@ -461,7 +477,8 @@ mod tests {
     #[test]
     fn flit_counters_track_link_traffic() {
         let dev = enabled_device();
-        dev.handle_mem(&MemRequest::write(0x1000_0000, [1; 64], 0)).unwrap();
+        dev.handle_mem(&MemRequest::write(0x1000_0000, [1; 64], 0))
+            .unwrap();
         dev.handle_mem(&MemRequest::read(0x1000_0000, 1)).unwrap();
         let counters = dev.flit_counters();
         assert_eq!(counters.mem_requests, 2);

@@ -45,7 +45,10 @@ impl fmt::Display for CxlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CxlError::AddressNotMapped(hpa) => {
-                write!(f, "host physical address {hpa:#x} is not mapped by any HDM decoder")
+                write!(
+                    f,
+                    "host physical address {hpa:#x} is not mapped by any HDM decoder"
+                )
             }
             CxlError::OutOfBounds { dpa, len, capacity } => write!(
                 f,

@@ -14,11 +14,10 @@ use crate::hdm::HdmRange;
 use crate::Result;
 use memsim::device::DeviceSpec;
 use memsim::link::{LinkKind, LinkSpec, Path};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Description of one on-card DDR channel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DdrChannelSpec {
     /// Module capacity in bytes.
     pub capacity_bytes: u64,
@@ -34,7 +33,7 @@ impl DdrChannelSpec {
 }
 
 /// Configuration of the soft-IP pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SoftIpConfig {
     /// Number of parallel CXL IP slices instantiated in the fabric.
     pub slices: u32,
@@ -79,7 +78,12 @@ impl FpgaPrototype {
                 speed_mts: 1333,
             },
         ];
-        Self::custom("Agilex-7 CXL prototype", LinkConfig::gen5_x16(), SoftIpConfig::default(), channels)
+        Self::custom(
+            "Agilex-7 CXL prototype",
+            LinkConfig::gen5_x16(),
+            SoftIpConfig::default(),
+            channels,
+        )
     }
 
     /// Builds a prototype with explicit parameters (used by the upgrade
@@ -235,12 +239,16 @@ mod tests {
     fn enumeration_makes_memory_accessible() {
         let fpga = FpgaPrototype::paper_prototype();
         let endpoint = fpga.endpoint();
-        assert!(endpoint.handle_mem(&MemRequest::read(0x2_0000_0000, 0)).is_err());
+        assert!(endpoint
+            .handle_mem(&MemRequest::read(0x2_0000_0000, 0))
+            .is_err());
         let (base, len) = fpga.enumerate(0x2_0000_0000).unwrap();
         assert_eq!(base, 0x2_0000_0000);
         assert_eq!(len, fpga.capacity_bytes());
         assert!(endpoint.memory_enabled());
-        assert!(endpoint.handle_mem(&MemRequest::read(0x2_0000_0000, 0)).is_ok());
+        assert!(endpoint
+            .handle_mem(&MemRequest::read(0x2_0000_0000, 0))
+            .is_ok());
     }
 
     #[test]

@@ -7,10 +7,9 @@
 
 use crate::error::CxlError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// One programmed HDM decoder range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HdmRange {
     /// First host physical address covered.
     pub hpa_base: u64,
@@ -73,7 +72,7 @@ impl HdmRange {
 }
 
 /// A set of HDM decoders belonging to one device.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HdmDecoder {
     ranges: Vec<HdmRange>,
 }
@@ -90,13 +89,15 @@ impl HdmDecoder {
         if range.len == 0 {
             return Err(CxlError::InvalidHdmRange("zero-length range".to_string()));
         }
-        if range.hpa_base % 64 != 0 || range.len % 64 != 0 {
+        if !range.hpa_base.is_multiple_of(64) || !range.len.is_multiple_of(64) {
             return Err(CxlError::InvalidHdmRange(
                 "range must be 64-byte aligned".to_string(),
             ));
         }
         if range.interleave_ways == 0 {
-            return Err(CxlError::InvalidHdmRange("zero interleave ways".to_string()));
+            return Err(CxlError::InvalidHdmRange(
+                "zero interleave ways".to_string(),
+            ));
         }
         if range.interleave_position >= range.interleave_ways {
             return Err(CxlError::InvalidHdmRange(format!(
@@ -152,7 +153,8 @@ mod tests {
     #[test]
     fn linear_translation_is_offset_preserving() {
         let mut dec = HdmDecoder::new();
-        dec.program(HdmRange::linear(0x1_0000_0000, 1 << 30, 0)).unwrap();
+        dec.program(HdmRange::linear(0x1_0000_0000, 1 << 30, 0))
+            .unwrap();
         assert_eq!(dec.translate(0x1_0000_0000).unwrap(), 0);
         assert_eq!(dec.translate(0x1_0000_0040).unwrap(), 0x40);
         assert!(dec.translate(0x0).is_err());
@@ -217,7 +219,8 @@ mod tests {
     fn mapped_bytes_and_clear() {
         let mut dec = HdmDecoder::new();
         dec.program(HdmRange::linear(0, 1 << 20, 0)).unwrap();
-        dec.program(HdmRange::linear(1 << 30, 1 << 20, 1 << 20)).unwrap();
+        dec.program(HdmRange::linear(1 << 30, 1 << 20, 1 << 20))
+            .unwrap();
         assert_eq!(dec.mapped_bytes(), 2 << 20);
         dec.clear();
         assert_eq!(dec.mapped_bytes(), 0);

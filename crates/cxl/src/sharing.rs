@@ -19,12 +19,11 @@ use crate::endpoint::Type3Device;
 use crate::error::CxlError;
 use crate::Result;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How coherence across hosts is maintained for a shared region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoherenceMode {
     /// No hardware coherence; applications publish/acquire explicitly
     /// (the prototype's only option).
@@ -34,7 +33,7 @@ pub enum CoherenceMode {
 }
 
 /// Statistics of one host's use of a shared region.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostShareStats {
     /// Bytes written by the host.
     pub bytes_written: u64,
@@ -74,7 +73,12 @@ struct SharedState {
 
 impl SharedRegion {
     /// Creates a shared region over `[dpa_base, dpa_base + len)` of `device`.
-    pub fn new(device: Arc<Type3Device>, dpa_base: u64, len: u64, mode: CoherenceMode) -> Result<Self> {
+    pub fn new(
+        device: Arc<Type3Device>,
+        dpa_base: u64,
+        len: u64,
+        mode: CoherenceMode,
+    ) -> Result<Self> {
         if dpa_base + len > device.capacity_bytes() {
             return Err(CxlError::OutOfBounds {
                 dpa: dpa_base,
@@ -232,7 +236,11 @@ mod tests {
     const MIB: u64 = 1024 * 1024;
 
     fn region(mode: CoherenceMode) -> SharedRegion {
-        let device = Arc::new(Type3Device::new("shared-dev", 16 * MIB, LinkConfig::gen5_x16()));
+        let device = Arc::new(Type3Device::new(
+            "shared-dev",
+            16 * MIB,
+            LinkConfig::gen5_x16(),
+        ));
         SharedRegion::new(device, 0, 8 * MIB, mode).unwrap()
     }
 

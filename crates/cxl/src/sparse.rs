@@ -6,14 +6,13 @@
 //! regions return zeros — while only materialising 64 KiB chunks that have
 //! actually been written.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Chunk granularity of the sparse store.
 pub const CHUNK_BYTES: usize = 64 * 1024;
 
 /// A sparse, zero-default byte store with a fixed logical capacity.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SparseMemory {
     capacity: u64,
     chunks: BTreeMap<u64, Vec<u8>>,
@@ -49,7 +48,10 @@ impl SparseMemory {
     /// Reads `buf.len()` bytes at `offset`. Untouched regions read as zero.
     /// Panics if out of bounds — callers bound-check first.
     pub fn read(&self, offset: u64, buf: &mut [u8]) {
-        assert!(self.in_bounds(offset, buf.len()), "sparse read out of bounds");
+        assert!(
+            self.in_bounds(offset, buf.len()),
+            "sparse read out of bounds"
+        );
         let mut done = 0usize;
         while done < buf.len() {
             let pos = offset + done as u64;
@@ -57,7 +59,9 @@ impl SparseMemory {
             let within = (pos % CHUNK_BYTES as u64) as usize;
             let take = (CHUNK_BYTES - within).min(buf.len() - done);
             match self.chunks.get(&chunk_index) {
-                Some(chunk) => buf[done..done + take].copy_from_slice(&chunk[within..within + take]),
+                Some(chunk) => {
+                    buf[done..done + take].copy_from_slice(&chunk[within..within + take])
+                }
                 None => buf[done..done + take].fill(0),
             }
             done += take;
@@ -67,7 +71,10 @@ impl SparseMemory {
     /// Writes `data` at `offset`, materialising chunks as needed.
     /// Panics if out of bounds — callers bound-check first.
     pub fn write(&mut self, offset: u64, data: &[u8]) {
-        assert!(self.in_bounds(offset, data.len()), "sparse write out of bounds");
+        assert!(
+            self.in_bounds(offset, data.len()),
+            "sparse write out of bounds"
+        );
         let mut done = 0usize;
         while done < data.len() {
             let pos = offset + done as u64;

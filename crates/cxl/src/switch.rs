@@ -10,7 +10,6 @@
 use crate::endpoint::Type3Device;
 use crate::error::CxlError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -20,7 +19,7 @@ pub type PortId = usize;
 pub type HostId = usize;
 
 /// A capacity allocation handed to a host from the pool.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolAllocation {
     /// Allocation id.
     pub id: u64,
@@ -183,8 +182,16 @@ mod tests {
 
     fn switch_with_two_devices() -> CxlSwitch {
         let mut sw = CxlSwitch::new("rack-switch");
-        sw.attach_device(Arc::new(Type3Device::new("dev0", 4 * GIB, LinkConfig::gen5_x16())));
-        sw.attach_device(Arc::new(Type3Device::new("dev1", 4 * GIB, LinkConfig::gen5_x16())));
+        sw.attach_device(Arc::new(Type3Device::new(
+            "dev0",
+            4 * GIB,
+            LinkConfig::gen5_x16(),
+        )));
+        sw.attach_device(Arc::new(Type3Device::new(
+            "dev1",
+            4 * GIB,
+            LinkConfig::gen5_x16(),
+        )));
         sw
     }
 
@@ -203,7 +210,10 @@ mod tests {
         let mut sw = switch_with_two_devices();
         sw.bind_port(0, 10).unwrap();
         assert_eq!(sw.binding(0), Some(10));
-        assert_eq!(sw.bind_port(0, 11).unwrap_err(), CxlError::PortAlreadyBound(0));
+        assert_eq!(
+            sw.bind_port(0, 11).unwrap_err(),
+            CxlError::PortAlreadyBound(0)
+        );
         sw.unbind_port(0).unwrap();
         sw.bind_port(0, 11).unwrap();
         assert!(sw.bind_port(7, 1).is_err());
@@ -233,7 +243,10 @@ mod tests {
         sw.allocate(1, 4 * GIB).unwrap();
         let err = sw.allocate(1, 5 * GIB).unwrap_err();
         match err {
-            CxlError::InsufficientCapacity { requested, available } => {
+            CxlError::InsufficientCapacity {
+                requested,
+                available,
+            } => {
                 assert_eq!(requested, 5 * GIB);
                 assert_eq!(available, 4 * GIB);
             }

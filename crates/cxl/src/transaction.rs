@@ -6,8 +6,6 @@
 //! space inquiries" (§2.2). This module defines those requests and responses
 //! with enough fidelity to account flit bytes and to actually move data.
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a CXL.mem data transfer: always one 64-byte cache line.
 pub const CACHE_LINE_BYTES: usize = 64;
 /// Size of a CXL 68-byte flit (64 B payload + 4 B header/CRC) used on Gen5.
@@ -15,7 +13,7 @@ pub const FLIT_BYTES: usize = 68;
 
 /// Master-to-Subordinate (host → device) CXL.mem opcodes, following the
 /// M2S Req / M2S RwD message classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemOpcode {
     /// Read one cache line (M2S Req `MemRd`).
     MemRd,
@@ -78,7 +76,12 @@ impl MemRequest {
     }
 
     /// A partial write: only bytes whose bit is set in `byte_enable` are stored.
-    pub fn write_partial(hpa: u64, data: [u8; CACHE_LINE_BYTES], byte_enable: u64, tag: u16) -> Self {
+    pub fn write_partial(
+        hpa: u64,
+        data: [u8; CACHE_LINE_BYTES],
+        byte_enable: u64,
+        tag: u16,
+    ) -> Self {
         MemRequest {
             opcode: MemOpcode::MemWrPtl,
             hpa,
@@ -122,7 +125,7 @@ impl MemResponse {
 }
 
 /// CXL.io (PCIe-semantics) requests: configuration and MMIO register access.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IoRequest {
     /// Configuration-space read of a 32-bit register at `offset`.
     ConfigRead {
@@ -151,7 +154,7 @@ pub enum IoRequest {
 }
 
 /// CXL.io response.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IoResponse {
     /// Value returned for reads; echoed value for writes.
     pub value: u32,
@@ -160,7 +163,7 @@ pub struct IoResponse {
 }
 
 /// Running counters of link traffic, maintained by endpoints.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlitCounters {
     /// Flit bytes sent host → device.
     pub m2s_bytes: u64,

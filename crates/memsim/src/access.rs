@@ -1,25 +1,19 @@
 //! Traffic descriptions submitted to the simulation engine.
 
 use numa::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// The spatial pattern of a traffic stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AccessPattern {
     /// Long unit-stride streams — STREAM kernels, checkpoint writes.
+    #[default]
     Sequential,
     /// Pointer-chasing / hash-table style access.
     Random,
 }
 
-impl Default for AccessPattern {
-    fn default() -> Self {
-        AccessPattern::Sequential
-    }
-}
-
 /// The memory traffic one software thread generates during a phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThreadTraffic {
     /// Logical CPU the thread is bound to.
     pub cpu: usize,
@@ -71,7 +65,7 @@ impl ThreadTraffic {
 
 /// A phase of traffic: every participating thread's contribution, executed
 /// concurrently and ending at a barrier (exactly one STREAM kernel invocation).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrafficPhase {
     /// Per-thread traffic descriptions.
     pub traffic: Vec<ThreadTraffic>,

@@ -96,6 +96,8 @@ pub const PAPER_STREAM_ELEMENTS: usize = 100_000_000;
 pub const STREAM_NTIMES: usize = 10;
 
 #[cfg(test)]
+// The whole point of these tests is sanity-checking calibration constants.
+#[allow(clippy::assertions_on_constants)]
 mod tests {
     use super::*;
 

@@ -3,11 +3,10 @@
 
 use crate::calibration as cal;
 use crate::units::GIB;
-use serde::{Deserialize, Serialize};
 
 /// The technology class of a memory device. Determines default behaviour such
 /// as persistence and read/write asymmetry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// DDR4 DRAM DIMMs.
     Ddr4,
@@ -57,7 +56,7 @@ impl DeviceKind {
 ///
 /// Bandwidths are *sustained streaming* ceilings in decimal GB/s (what STREAM
 /// could reach with unlimited cores), not pin-rate maxima.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Human-readable name, e.g. "DDR5-4800 1DPC socket0".
     pub name: String,

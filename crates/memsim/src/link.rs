@@ -8,10 +8,9 @@
 //!   controller pipeline.
 
 use crate::calibration as cal;
-use serde::{Deserialize, Serialize};
 
 /// The kind of interconnect a link models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// Intel Ultra Path Interconnect between sockets.
     Upi,
@@ -39,7 +38,7 @@ impl LinkKind {
 }
 
 /// One interconnect link: a per-direction bandwidth ceiling plus added latency.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkSpec {
     /// Human-readable name, e.g. "UPI socket0<->socket1".
     pub name: String,
@@ -108,7 +107,7 @@ impl LinkSpec {
 }
 
 /// A path from a socket to a memory device: an ordered list of links.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Path {
     /// Links traversed, in order from the core to the device.
     pub links: Vec<LinkSpec>,

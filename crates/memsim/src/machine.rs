@@ -8,15 +8,13 @@ use crate::link::Path;
 use crate::units::CACHE_LINE;
 use crate::Result;
 use numa::{NodeId, SocketId, Topology};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A complete machine model: topology, per-node devices and socket→node paths.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     topology: Topology,
     devices: Vec<DeviceSpec>,
-    #[serde(with = "path_map_serde")]
     paths: HashMap<(SocketId, NodeId), Path>,
     /// Per-core memory-level parallelism: outstanding 64 B lines a core keeps
     /// in flight while streaming.
@@ -208,39 +206,6 @@ impl MachineBuilder {
     }
 }
 
-/// Serde helper: HashMap with tuple keys is not representable in JSON maps, so
-/// paths are serialised as a list of `(socket, node, path)` entries.
-mod path_map_serde {
-    use super::*;
-    use serde::de::Deserializer;
-    use serde::ser::Serializer;
-
-    pub fn serialize<S>(
-        map: &HashMap<(SocketId, NodeId), Path>,
-        serializer: S,
-    ) -> std::result::Result<S::Ok, S::Error>
-    where
-        S: Serializer,
-    {
-        let mut entries: Vec<(SocketId, NodeId, Path)> = map
-            .iter()
-            .map(|(&(s, n), p)| (s, n, p.clone()))
-            .collect();
-        entries.sort_by_key(|(s, n, _)| (*s, *n));
-        serde::Serialize::serialize(&entries, serializer)
-    }
-
-    pub fn deserialize<'de, D>(
-        deserializer: D,
-    ) -> std::result::Result<HashMap<(SocketId, NodeId), Path>, D::Error>
-    where
-        D: Deserializer<'de>,
-    {
-        let entries: Vec<(SocketId, NodeId, Path)> = serde::Deserialize::deserialize(deserializer)?;
-        Ok(entries.into_iter().map(|(s, n, p)| ((s, n), p)).collect())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,7 +304,13 @@ mod tests {
         let m2 = m.clone().with_device(2, faster).unwrap();
         assert!(m2.device(2).unwrap().read_bw_gbs > m.device(2).unwrap().read_bw_gbs);
         let m3 = m2.with_path(0, 2, Path::through(vec![LinkSpec::pcie_gen6_x16_cxl()]));
-        assert!(m3.path(0, 2).unwrap().crosses(crate::link::LinkKind::PcieGen6x16));
-        assert!(m.clone().with_device(9, DeviceSpec::ddr5_4800_single_dimm("x")).is_err());
+        assert!(m3
+            .path(0, 2)
+            .unwrap()
+            .crosses(crate::link::LinkKind::PcieGen6x16));
+        assert!(m
+            .clone()
+            .with_device(9, DeviceSpec::ddr5_4800_single_dimm("x"))
+            .is_err());
     }
 }

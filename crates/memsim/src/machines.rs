@@ -22,9 +22,18 @@ pub fn sapphire_rapids_cxl_machine() -> Machine {
     };
     Machine::builder(topo)
         .core_mlp(cal::SPR_CORE_MLP)
-        .device(0, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"))
-        .device(1, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"))
-        .device(2, DeviceSpec::cxl_prototype_ddr4_1333("CXL DDR4-1333 16GB (Agilex-7)"))
+        .device(
+            0,
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"),
+        )
+        .device(
+            1,
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"),
+        )
+        .device(
+            2,
+            DeviceSpec::cxl_prototype_ddr4_1333("CXL DDR4-1333 16GB (Agilex-7)"),
+        )
         // Socket 0 paths.
         .path(0, 0, Path::direct())
         .path(0, 1, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
@@ -43,8 +52,14 @@ pub fn xeon_gold_ddr4_machine() -> Machine {
     let topo = xeon_gold_ddr4();
     Machine::builder(topo)
         .core_mlp(cal::XEON_GOLD_CORE_MLP)
-        .device(0, DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket0"))
-        .device(1, DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket1"))
+        .device(
+            0,
+            DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket0"),
+        )
+        .device(
+            1,
+            DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket1"),
+        )
         .path(0, 0, Path::direct())
         .path(0, 1, Path::through(vec![LinkSpec::upi_xeon_gold()]))
         .path(1, 0, Path::through(vec![LinkSpec::upi_xeon_gold()]))
@@ -68,8 +83,14 @@ pub fn sapphire_rapids_dcpmm_machine() -> Machine {
         .expect("static topology is valid");
     Machine::builder(topo)
         .core_mlp(cal::SPR_CORE_MLP)
-        .device(0, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"))
-        .device(1, DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"))
+        .device(
+            0,
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"),
+        )
+        .device(
+            1,
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"),
+        )
         .device(2, DeviceSpec::dcpmm_single_module("Optane DCPMM 128GB"))
         .path(0, 0, Path::direct())
         .path(0, 1, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
@@ -96,8 +117,8 @@ pub fn sapphire_rapids_cxl_upgraded(ddr_speed_factor: f64, channels: u32) -> Mac
     .with_channels(channels);
     // A faster card also needs a faster controller ceiling: scale the soft-IP
     // link proportionally but never beyond the PCIe Gen5 limit.
-    let controller_bw =
-        (cal::CXL_PROTOTYPE_CEILING_GBS * ddr_speed_factor * channels as f64).min(cal::PCIE_GEN5_X16_GBS);
+    let controller_bw = (cal::CXL_PROTOTYPE_CEILING_GBS * ddr_speed_factor * channels as f64)
+        .min(cal::PCIE_GEN5_X16_GBS);
     let mut controller = LinkSpec::fpga_cxl_controller();
     controller.bandwidth_gbs = controller_bw;
     let path = Path::through(vec![LinkSpec::pcie_gen5_x16_cxl(), controller]);
@@ -116,7 +137,10 @@ mod tests {
     fn setup1_has_three_nodes_and_cxl_device() {
         let m = sapphire_rapids_cxl_machine();
         assert_eq!(m.devices().len(), 3);
-        assert_eq!(m.device(2).unwrap().kind, crate::DeviceKind::CxlExpanderDram);
+        assert_eq!(
+            m.device(2).unwrap().kind,
+            crate::DeviceKind::CxlExpanderDram
+        );
         assert!(m.path(0, 2).unwrap().crosses(crate::LinkKind::PcieGen5x16));
         assert!(m.path(0, 1).unwrap().crosses(crate::LinkKind::Upi));
     }

@@ -3,11 +3,10 @@
 //! explaining where time went.
 
 use crate::engine::PhaseReport;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A recorded sequence of phase reports plus running aggregates.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrafficTrace {
     reports: Vec<PhaseReport>,
 }

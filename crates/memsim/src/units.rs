@@ -51,6 +51,8 @@ pub fn human_bytes(bytes: u64) -> String {
 }
 
 #[cfg(test)]
+// The whole point of these tests is sanity-checking calibration constants.
+#[allow(clippy::assertions_on_constants)]
 mod tests {
     use super::*;
 

@@ -18,10 +18,9 @@ use crate::cpuset::CpuSet;
 use crate::error::NumaError;
 use crate::topology::{SocketId, Topology};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// How software threads are bound to logical CPUs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AffinityPolicy {
     /// Fill sockets one after the other, in the given socket order.
     /// `Close { sockets: vec![0, 1] }` reproduces the paper's *close* runs.
@@ -45,12 +44,16 @@ pub enum AffinityPolicy {
 impl AffinityPolicy {
     /// Convenience constructor for the paper's two-socket close policy.
     pub fn close() -> Self {
-        AffinityPolicy::Close { sockets: vec![0, 1] }
+        AffinityPolicy::Close {
+            sockets: vec![0, 1],
+        }
     }
 
     /// Convenience constructor for the paper's two-socket spread policy.
     pub fn spread() -> Self {
-        AffinityPolicy::Spread { sockets: vec![0, 1] }
+        AffinityPolicy::Spread {
+            sockets: vec![0, 1],
+        }
     }
 
     /// Human-readable label used by the harness legends.
@@ -115,9 +118,7 @@ impl AffinityPolicy {
                 // Interleave the per-socket close orders.
                 let per_socket: Vec<Vec<usize>> = sockets
                     .iter()
-                    .map(|&sid| {
-                        AffinityPolicy::Close { sockets: vec![sid] }.cpu_order(topo)
-                    })
+                    .map(|&sid| AffinityPolicy::Close { sockets: vec![sid] }.cpu_order(topo))
                     .collect::<Result<_>>()?;
                 let max_len = per_socket.iter().map(|v| v.len()).max().unwrap_or(0);
                 let mut out = Vec::new();
@@ -130,9 +131,10 @@ impl AffinityPolicy {
                 }
                 Ok(out)
             }
-            AffinityPolicy::SingleSocket(sid) => {
-                AffinityPolicy::Close { sockets: vec![*sid] }.cpu_order(topo)
+            AffinityPolicy::SingleSocket(sid) => AffinityPolicy::Close {
+                sockets: vec![*sid],
             }
+            .cpu_order(topo),
             AffinityPolicy::Explicit(cpus) => Ok(cpus.clone()),
             AffinityPolicy::Unbound => {
                 let mut cpus: Vec<usize> = topo.machine_cpuset().iter().collect();
@@ -144,7 +146,7 @@ impl AffinityPolicy {
 }
 
 /// The result of placing N software threads: one logical CPU per thread.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadPlacement {
     cpus: Vec<usize>,
     policy: AffinityPolicy,

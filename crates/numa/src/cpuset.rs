@@ -1,6 +1,5 @@
 //! A compact bit-set of logical CPUs, mirroring `cpu_set_t`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum number of logical CPUs a [`CpuSet`] can describe.
@@ -15,7 +14,7 @@ const WORDS: usize = MAX_CPUS / 64;
 ///
 /// The set is `Copy`-cheap on purpose: affinity masks are passed around freely
 /// by the placement code and the STREAM runner.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CpuSet {
     words: [u64; WORDS],
 }
@@ -42,6 +41,7 @@ impl CpuSet {
     }
 
     /// Creates a set from an iterator of CPU ids. Ids `>= MAX_CPUS` are ignored.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
         let mut set = Self::new();
         for cpu in iter {

@@ -3,7 +3,6 @@
 use crate::error::NumaError;
 use crate::topology::{NodeId, NumaNode};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Distance of a node to itself in SLIT units.
 pub const LOCAL_DISTANCE: u32 = 10;
@@ -14,7 +13,7 @@ pub const EXPANDER_DISTANCE: u32 = 31;
 
 /// A square matrix of relative access distances between NUMA nodes,
 /// following the ACPI SLIT convention where the local distance is 10.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistanceMatrix {
     rows: Vec<Vec<u32>>,
 }

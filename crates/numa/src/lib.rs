@@ -44,7 +44,7 @@ pub use cpuset::CpuSet;
 pub use distance::DistanceMatrix;
 pub use error::NumaError;
 pub use policy::MemBindPolicy;
-pub use pool::{PinnedPool, WorkerCtx};
+pub use pool::{chunk_for, PinnedPool, WorkerCtx};
 pub use topology::{Core, CoreId, NodeId, NumaNode, Socket, SocketId, Topology};
 
 /// Convenient result alias used across the crate.

@@ -9,10 +9,9 @@
 use crate::error::NumaError;
 use crate::topology::{NodeId, Topology};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Where allocations are placed, mirroring `numactl` options.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemBindPolicy {
     /// First-touch local allocation: memory lands on the node of the CPU that
     /// first touches the page (Linux default).
@@ -52,9 +51,7 @@ impl MemBindPolicy {
     pub fn validate(&self, topo: &Topology) -> Result<()> {
         match self {
             MemBindPolicy::LocalAlloc => Ok(()),
-            MemBindPolicy::Bind(n) | MemBindPolicy::Preferred(n) => {
-                topo.node(*n).map(|_| ())
-            }
+            MemBindPolicy::Bind(n) | MemBindPolicy::Preferred(n) => topo.node(*n).map(|_| ()),
             MemBindPolicy::Interleave(ns) => {
                 if ns.is_empty() {
                     return Err(NumaError::EmptyNodeSet);
@@ -74,9 +71,7 @@ impl MemBindPolicy {
     pub fn resolve(&self, topo: &Topology, cpu: usize, page_index: usize) -> Result<NodeId> {
         self.validate(topo)?;
         match self {
-            MemBindPolicy::LocalAlloc => topo
-                .node_of_cpu(cpu)
-                .ok_or(NumaError::UnknownCore(cpu)),
+            MemBindPolicy::LocalAlloc => topo.node_of_cpu(cpu).ok_or(NumaError::UnknownCore(cpu)),
             MemBindPolicy::Bind(n) => Ok(*n),
             MemBindPolicy::Preferred(n) => Ok(*n),
             MemBindPolicy::Interleave(ns) => Ok(ns[page_index % ns.len()]),

@@ -14,7 +14,6 @@ use crate::cpuset::CpuSet;
 use crate::distance::DistanceMatrix;
 use crate::error::NumaError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a CPU socket (package).
 pub type SocketId = usize;
@@ -24,7 +23,7 @@ pub type NodeId = usize;
 pub type CoreId = usize;
 
 /// A physical core with its hardware threads (logical CPUs).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Core {
     /// Global core id.
     pub id: CoreId,
@@ -37,7 +36,7 @@ pub struct Core {
 }
 
 /// A CPU package with its cores.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Socket {
     /// Socket id.
     pub id: SocketId,
@@ -52,7 +51,7 @@ pub struct Socket {
 }
 
 /// A NUMA node: a set of cores (possibly empty) plus locally attached memory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NumaNode {
     /// Node id (matches `numactl` numbering).
     pub id: NodeId,
@@ -72,7 +71,7 @@ impl NumaNode {
 }
 
 /// Full machine topology: sockets, cores, NUMA nodes and inter-node distances.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     /// Machine name, e.g. "sapphire-rapids-cxl".
     pub name: String,
@@ -270,7 +269,13 @@ impl TopologyBuilder {
     }
 
     /// Adds a socket with `cores` physical cores whose local memory is `node`.
-    pub fn socket(mut self, model: impl Into<String>, base_ghz: f64, cores: usize, node: NodeId) -> Self {
+    pub fn socket(
+        mut self,
+        model: impl Into<String>,
+        base_ghz: f64,
+        cores: usize,
+        node: NodeId,
+    ) -> Self {
         self.sockets.push(SocketSpec {
             model: model.into(),
             base_ghz,
@@ -326,6 +331,7 @@ impl TopologyBuilder {
                 return Err(NumaError::UnknownNode(spec.node));
             }
             let mut socket_cores = Vec::new();
+            #[allow(clippy::needless_range_loop)]
             for i in 0..spec.cores {
                 let core_id = cores.len();
                 let mut hw = vec![primary_cpus[sid][i]];
@@ -467,7 +473,10 @@ mod tests {
 
     #[test]
     fn empty_topology_is_rejected() {
-        let err = Topology::builder("empty").node(GIB, "x").build().unwrap_err();
+        let err = Topology::builder("empty")
+            .node(GIB, "x")
+            .build()
+            .unwrap_err();
         assert_eq!(err, NumaError::EmptyTopology);
     }
 

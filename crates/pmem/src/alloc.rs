@@ -12,7 +12,6 @@ use crate::backend::SharedBackend;
 use crate::error::PmemError;
 use crate::persist::PersistTracker;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Size of a block header in bytes.
@@ -26,7 +25,7 @@ const STATE_FREE: u64 = 0xF4EE_F4EE_F4EE_F4EE;
 const STATE_ALLOCATED: u64 = 0xA110_CA7E_A110_CA7E;
 
 /// Aggregate statistics of the persistent heap.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocStats {
     /// Total heap payload capacity in bytes (excluding headers).
     pub capacity: u64,
@@ -138,7 +137,10 @@ impl PersistentHeap {
                         break;
                     }
                     let (next_size, next_state) = self.read_header(next)?;
-                    if next_state == STATE_FREE && next_size > 0 && next + next_size <= self.heap_end {
+                    if next_state == STATE_FREE
+                        && next_size > 0
+                        && next + next_size <= self.heap_end
+                    {
                         size += next_size;
                         self.write_header(cursor, size, STATE_FREE)?;
                     } else {
@@ -262,7 +264,10 @@ mod tests {
     fn tiny_heap_is_rejected() {
         let backend: SharedBackend = Arc::new(VolatileBackend::new(32));
         let h = PersistentHeap::new(backend, Arc::new(PersistTracker::new()), 0, 32);
-        assert!(matches!(h.format().unwrap_err(), PmemError::PoolTooSmall { .. }));
+        assert!(matches!(
+            h.format().unwrap_err(),
+            PmemError::PoolTooSmall { .. }
+        ));
     }
 
     #[test]
@@ -332,7 +337,10 @@ mod tests {
             let offset = h.alloc(size).unwrap();
             let usable = h.usable_size(offset).unwrap();
             for &(start, end) in &ranges {
-                assert!(offset + usable <= start || offset >= end, "overlap detected");
+                assert!(
+                    offset + usable <= start || offset >= end,
+                    "overlap detected"
+                );
             }
             ranges.push((offset, offset + usable));
         }

@@ -174,6 +174,17 @@ impl<'p, T: PmemScalar> PersistentArray<'p, T> {
         self.pool.persist(offset, len * T::SIZE as u64)
     }
 
+    /// Flushes the element range `[start, start+len)` without a fence
+    /// (`pmem_flush`). Pair with [`PmemPool::drain`] after batching all
+    /// chunks of an update — one fence then covers every flushed range.
+    pub fn flush(&self, start: u64, len: u64) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let offset = self.offset_of(start)?;
+        self.pool.flush(offset, len * T::SIZE as u64)
+    }
+
     /// Makes the whole array durable.
     pub fn persist_all(&self) -> Result<()> {
         self.persist(0, self.len())

@@ -119,7 +119,11 @@ impl PoolBackend for VolatileBackend {
         format!(
             "volatile[{} bytes, {}]",
             self.capacity(),
-            if self.persistent { "battery-backed" } else { "dram" }
+            if self.persistent {
+                "battery-backed"
+            } else {
+                "dram"
+            }
         )
     }
 }

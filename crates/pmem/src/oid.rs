@@ -5,11 +5,10 @@
 //! every time. PMDK therefore represents object references as
 //! `(pool uuid, offset)` pairs; typed wrappers add compile-time element types.
 
-use serde::{Deserialize, Serialize};
 use std::marker::PhantomData;
 
 /// An untyped persistent object identifier: pool UUID + offset within the pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PmemOid {
     /// UUID of the pool the object lives in.
     pub pool_uuid: u64,
@@ -45,12 +44,11 @@ impl Default for PmemOid {
 ///
 /// The type parameter is purely a compile-time tag: it records what the
 /// allocation holds so reads and writes go through the right element size.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct TypedOid<T> {
     oid: PmemOid,
     /// Number of `T` elements in the allocation.
     len: u64,
-    #[serde(skip)]
     _marker: PhantomData<fn() -> T>,
 }
 

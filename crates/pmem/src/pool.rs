@@ -78,7 +78,8 @@ impl Header {
         out.extend_from_slice(&self.pool_size.to_le_bytes());
         let mut layout_bytes = [0u8; MAX_LAYOUT];
         let src = self.layout.as_bytes();
-        layout_bytes[..src.len().min(MAX_LAYOUT)].copy_from_slice(&src[..src.len().min(MAX_LAYOUT)]);
+        layout_bytes[..src.len().min(MAX_LAYOUT)]
+            .copy_from_slice(&src[..src.len().min(MAX_LAYOUT)]);
         out.extend_from_slice(&layout_bytes);
         out.extend_from_slice(&self.root_offset.to_le_bytes());
         out.extend_from_slice(&self.root_len.to_le_bytes());
@@ -113,7 +114,10 @@ impl Header {
             return Err(PmemError::BadChecksum);
         }
         let layout_raw = &bytes[32..32 + MAX_LAYOUT];
-        let layout_end = layout_raw.iter().position(|&b| b == 0).unwrap_or(MAX_LAYOUT);
+        let layout_end = layout_raw
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(MAX_LAYOUT);
         let layout = String::from_utf8_lossy(&layout_raw[..layout_end]).to_string();
         let tail = 32 + MAX_LAYOUT;
         Ok(Header {
@@ -379,6 +383,20 @@ impl PmemPool {
         self.tracker.persist(&self.backend, offset, len)
     }
 
+    /// Flushes a byte range without the trailing fence (`pmem_flush`
+    /// equivalent). Callers batching several ranges issue one flush per range
+    /// and a single [`drain`](Self::drain) at the end — the chunk-granularity
+    /// persist pattern the STREAM-PMem hot path uses.
+    pub fn flush(&self, offset: u64, len: u64) -> Result<()> {
+        self.tracker.flush(&self.backend, offset, len)
+    }
+
+    /// Store fence draining all previously flushed ranges (`pmem_drain`
+    /// equivalent).
+    pub fn drain(&self) {
+        self.tracker.drain();
+    }
+
     // ------------------------------------------------------------------ root
 
     /// Sets the root object (`pmemobj_root` equivalent): records which
@@ -399,7 +417,10 @@ impl PmemPool {
         if header.root_offset == 0 {
             None
         } else {
-            Some((PmemOid::new(header.uuid, header.root_offset), header.root_len))
+            Some((
+                PmemOid::new(header.uuid, header.root_offset),
+                header.root_len,
+            ))
         }
     }
 

@@ -70,8 +70,10 @@ impl TxLog {
 
     fn write_header(&self, active: u64, count: u64) -> Result<()> {
         self.backend.write_at(self.start, &active.to_le_bytes())?;
-        self.backend.write_at(self.start + 8, &count.to_le_bytes())?;
-        self.tracker.persist(&self.backend, self.start, LOG_HEADER)?;
+        self.backend
+            .write_at(self.start + 8, &count.to_le_bytes())?;
+        self.tracker
+            .persist(&self.backend, self.start, LOG_HEADER)?;
         Ok(())
     }
 
@@ -396,7 +398,8 @@ mod tests {
         let (_, pool) = pool_pair();
         let a = pool.alloc_bytes(64).unwrap();
         for i in 0..10u64 {
-            pool.run_tx(|tx| tx.write(a.offset, &i.to_le_bytes())).unwrap();
+            pool.run_tx(|tx| tx.write(a.offset, &i.to_le_bytes()))
+                .unwrap();
         }
         let mut buf = [0u8; 8];
         pool.read(a.offset, &mut buf).unwrap();

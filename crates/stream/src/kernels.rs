@@ -1,9 +1,7 @@
 //! The four STREAM kernels and their accounting rules.
 
-use serde::{Deserialize, Serialize};
-
 /// One STREAM kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// `c[i] = a[i]`
     Copy,
@@ -78,38 +76,75 @@ impl Kernel {
         }
     }
 
+    /// Which of the three arrays (`a`, `b`, `c`) the kernel reads.
+    ///
+    /// The zero-copy STREAM-PMem path uses this to stage only the inputs a
+    /// chunk actually consumes instead of round-tripping all three arrays.
+    pub fn reads(&self) -> (bool, bool, bool) {
+        match self {
+            Kernel::Copy => (true, false, false),
+            Kernel::Scale => (false, false, true),
+            Kernel::Add => (true, true, false),
+            Kernel::Triad => (false, true, true),
+        }
+    }
+
+    /// Which array the kernel writes.
+    pub fn output(&self) -> StreamArray {
+        match self {
+            Kernel::Copy | Kernel::Add => StreamArray::C,
+            Kernel::Scale => StreamArray::B,
+            Kernel::Triad => StreamArray::A,
+        }
+    }
+
     /// Applies the kernel to a chunk: `a`, `b`, `c` are same-length slices of
     /// the three STREAM arrays restricted to this chunk.
+    ///
+    /// The bodies are zipped iterators over exactly the slices each kernel
+    /// touches: no index arithmetic, no bounds checks in the loop, and a
+    /// shape LLVM autovectorises.
     pub fn apply(&self, a: &mut [f64], b: &mut [f64], c: &mut [f64], scalar: f64) {
         debug_assert_eq!(a.len(), b.len());
         debug_assert_eq!(a.len(), c.len());
         match self {
             Kernel::Copy => {
-                for i in 0..a.len() {
-                    c[i] = a[i];
+                for (c, &a) in c.iter_mut().zip(a.iter()) {
+                    *c = a;
                 }
             }
             Kernel::Scale => {
-                for i in 0..a.len() {
-                    b[i] = scalar * c[i];
+                for (b, &c) in b.iter_mut().zip(c.iter()) {
+                    *b = scalar * c;
                 }
             }
             Kernel::Add => {
-                for i in 0..a.len() {
-                    c[i] = a[i] + b[i];
+                for ((c, &a), &b) in c.iter_mut().zip(a.iter()).zip(b.iter()) {
+                    *c = a + b;
                 }
             }
             Kernel::Triad => {
-                for i in 0..a.len() {
-                    a[i] = b[i] + scalar * c[i];
+                for ((a, &b), &c) in a.iter_mut().zip(b.iter()).zip(c.iter()) {
+                    *a = b + scalar * c;
                 }
             }
         }
     }
 }
 
+/// Identifies one of the three STREAM arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamArray {
+    /// Array `a`.
+    A,
+    /// Array `b`.
+    B,
+    /// Array `c`.
+    C,
+}
+
 /// Configuration of a STREAM run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamConfig {
     /// Elements per array (the paper uses 100 M).
     pub elements: usize,

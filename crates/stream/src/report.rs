@@ -1,10 +1,9 @@
 //! Bandwidth bookkeeping: per-kernel best-of-N, as STREAM reports it.
 
 use crate::kernels::Kernel;
-use serde::{Deserialize, Serialize};
 
 /// One timed kernel invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelMeasurement {
     /// The kernel.
     pub kernel: Kernel,
@@ -27,7 +26,7 @@ impl KernelMeasurement {
 }
 
 /// Collected measurements of one STREAM run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BandwidthReport {
     threads: usize,
     measurements: Vec<KernelMeasurement>,
@@ -66,7 +65,11 @@ impl BandwidthReport {
             .iter()
             .filter(|m| m.kernel == kernel)
             .copied()
-            .min_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.seconds
+                    .partial_cmp(&b.seconds)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// Best bandwidth of a kernel (GB/s).

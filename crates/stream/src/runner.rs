@@ -15,11 +15,11 @@ use crate::kernels::{Kernel, StreamConfig};
 use cxl_pmem::{AccessMode, CxlPmemRuntime, Result as RuntimeResult};
 use memsim::PhaseReport;
 use numa::{NodeId, ThreadPlacement};
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One point of a figure: a kernel, a thread count, a placement and the
 /// simulated bandwidth.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimulatedPoint {
     /// The kernel.
     pub kernel: Kernel,
@@ -62,6 +62,30 @@ impl<'rt> SimulatedStream<'rt> {
         self.config
     }
 
+    /// Per-thread `(read, write)` byte counts for one invocation of `kernel`.
+    fn bytes_per_thread(&self, kernel: Kernel, placement: &ThreadPlacement) -> (u64, u64) {
+        let threads = placement.len().max(1) as u64;
+        let read_total = self.config.elements as u64 * kernel.read_bytes_per_element();
+        let write_total = self.config.elements as u64 * kernel.write_bytes_per_element();
+        (read_total / threads, write_total / threads)
+    }
+
+    fn phase_label(
+        &self,
+        kernel: Kernel,
+        placement: &ThreadPlacement,
+        data_node: NodeId,
+        mode: AccessMode,
+    ) -> String {
+        format!(
+            "{} {}t node{} {}",
+            kernel.name(),
+            placement.len(),
+            data_node,
+            mode.legend_prefix()
+        )
+    }
+
     /// Simulates one kernel invocation with the given placement, data node and
     /// mode, returning the full engine report.
     pub fn simulate_report(
@@ -71,21 +95,35 @@ impl<'rt> SimulatedStream<'rt> {
         data_node: NodeId,
         mode: AccessMode,
     ) -> RuntimeResult<PhaseReport> {
-        let threads = placement.len().max(1) as u64;
-        let read_total = self.config.elements as u64 * kernel.read_bytes_per_element();
-        let write_total = self.config.elements as u64 * kernel.write_bytes_per_element();
+        let (read, write) = self.bytes_per_thread(kernel, placement);
         self.runtime.simulate_stream_phase(
-            &format!(
-                "{} {}t node{} {}",
-                kernel.name(),
-                placement.len(),
-                data_node,
-                mode.legend_prefix()
-            ),
+            &self.phase_label(kernel, placement, data_node, mode),
             placement,
             data_node,
-            read_total / threads,
-            write_total / threads,
+            read,
+            write,
+            mode,
+        )
+    }
+
+    /// Memoised variant of [`simulate_report`](Self::simulate_report) backed
+    /// by the engine's phase cache; used by [`sweep`](Self::sweep) where grid
+    /// points with identical traffic (Copy/Scale, Add/Triad) collapse. Hits
+    /// share the first verdict via `Arc` (including its label).
+    pub fn simulate_report_cached(
+        &self,
+        kernel: Kernel,
+        placement: &ThreadPlacement,
+        data_node: NodeId,
+        mode: AccessMode,
+    ) -> RuntimeResult<Arc<PhaseReport>> {
+        let (read, write) = self.bytes_per_thread(kernel, placement);
+        self.runtime.simulate_stream_phase_cached(
+            &self.phase_label(kernel, placement, data_node, mode),
+            placement,
+            data_node,
+            read,
+            write,
             mode,
         )
     }
@@ -98,7 +136,7 @@ impl<'rt> SimulatedStream<'rt> {
         data_node: NodeId,
         mode: AccessMode,
     ) -> RuntimeResult<SimulatedPoint> {
-        let report = self.simulate_report(kernel, placement, data_node, mode)?;
+        let report = self.simulate_report_cached(kernel, placement, data_node, mode)?;
         Ok(SimulatedPoint {
             kernel,
             threads: placement.len(),
@@ -106,11 +144,12 @@ impl<'rt> SimulatedStream<'rt> {
             mode,
             bandwidth_gbs: report.bandwidth_gbs,
             seconds: report.seconds,
-            bottleneck: report.bottleneck_resource,
+            bottleneck: report.bottleneck_resource.clone(),
         })
     }
 
-    /// Simulates a whole thread sweep (1..=`max_threads`) for one kernel.
+    /// Simulates a whole thread sweep (1..=`max_threads`) for one kernel,
+    /// through the engine's memoised phase cache.
     pub fn sweep(
         &self,
         kernel: Kernel,
@@ -138,6 +177,44 @@ mod tests {
                     .unwrap()
             })
             .collect()
+    }
+
+    #[test]
+    fn full_grid_sweep_hits_the_phase_cache_and_matches_uncached() {
+        // The acceptance grid: 4 kernels × 10 thread counts × 3 nodes × 2
+        // modes. Copy/Scale and Add/Triad submit byte-identical traffic, so
+        // half the grid must come from the memoisation layer, and cached
+        // verdicts must be bit-identical to the uncached engine path.
+        let runtime = CxlPmemRuntime::setup1();
+        let stream = SimulatedStream::paper(&runtime);
+        let placements = placements(&runtime, 10);
+        let mut points = Vec::new();
+        for kernel in Kernel::ALL {
+            for node in 0..3 {
+                for mode in [AccessMode::AppDirect, AccessMode::MemoryMode] {
+                    points.extend(stream.sweep(kernel, &placements, node, mode).unwrap());
+                }
+            }
+        }
+        assert_eq!(points.len(), 4 * 10 * 3 * 2);
+        let (hits, misses) = runtime.engine().cache_stats();
+        assert_eq!(hits + misses, 240);
+        assert!(hits >= 120, "only {hits} cache hits over the grid");
+        for point in &points {
+            let report = stream
+                .simulate_report(
+                    point.kernel,
+                    &placements[point.threads - 1],
+                    point.data_node,
+                    point.mode,
+                )
+                .unwrap();
+            assert_eq!(
+                report.bandwidth_gbs.to_bits(),
+                point.bandwidth_gbs.to_bits(),
+                "cached point diverged from direct simulation"
+            );
+        }
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! STREAM over ordinary heap arrays (the Memory-Mode / CC-NUMA flavour).
 
+use crate::exec::run_partitioned;
 use crate::kernels::{Kernel, StreamConfig};
 use crate::report::{BandwidthReport, KernelMeasurement};
-use numa::{PinnedPool, WorkerCtx};
-use parking_lot::RwLock;
+use numa::PinnedPool;
 use std::time::Instant;
 
 /// A STREAM instance over three heap-allocated `f64` arrays.
+///
+/// Kernels execute **in place**: every worker of the pinned pool receives a
+/// disjoint `&mut [f64]` window of the three arrays via
+/// [`crate::exec::ChunkedArrays`], so an invocation moves exactly the bytes
+/// STREAM's counting rules say it moves — no copy-out/copy-back, no locks.
 pub struct VolatileStream {
     config: StreamConfig,
-    a: RwLock<Vec<f64>>,
-    b: RwLock<Vec<f64>>,
-    c: RwLock<Vec<f64>>,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
 }
 
 impl VolatileStream {
@@ -20,9 +25,9 @@ impl VolatileStream {
     pub fn new(config: StreamConfig) -> Self {
         VolatileStream {
             config,
-            a: RwLock::new(vec![2.0; config.elements]),
-            b: RwLock::new(vec![2.0; config.elements]),
-            c: RwLock::new(vec![0.0; config.elements]),
+            a: vec![2.0; config.elements],
+            b: vec![2.0; config.elements],
+            c: vec![0.0; config.elements],
         }
     }
 
@@ -31,39 +36,27 @@ impl VolatileStream {
         self.config
     }
 
-    fn run_kernel_once(&self, kernel: Kernel, pool: &PinnedPool) -> f64 {
+    /// Runs one kernel invocation in place across the pool; returns the
+    /// elapsed wall-clock seconds.
+    fn run_kernel_once(&mut self, kernel: Kernel, pool: &PinnedPool) -> f64 {
         let scalar = self.config.scalar;
-        let elements = self.config.elements;
         let start = Instant::now();
-        let a = &self.a;
-        let b = &self.b;
-        let c = &self.c;
-        pool.run(|ctx: WorkerCtx| {
-            let (lo, hi) = ctx.chunk(elements);
-            if lo == hi {
-                return;
-            }
-            // Each worker owns a disjoint chunk; copy it out, compute, copy
-            // back. The copies stay inside the worker's chunk so there is no
-            // cross-thread interference; the real memory traffic is what the
-            // simulator accounts separately.
-            let mut a_chunk = a.read()[lo..hi].to_vec();
-            let mut b_chunk = b.read()[lo..hi].to_vec();
-            let mut c_chunk = c.read()[lo..hi].to_vec();
-            kernel.apply(&mut a_chunk, &mut b_chunk, &mut c_chunk, scalar);
-            match kernel {
-                Kernel::Copy | Kernel::Add => c.write()[lo..hi].copy_from_slice(&c_chunk),
-                Kernel::Scale => b.write()[lo..hi].copy_from_slice(&b_chunk),
-                Kernel::Triad => a.write()[lo..hi].copy_from_slice(&a_chunk),
-            }
-        });
+        run_partitioned(
+            pool,
+            &mut self.a,
+            &mut self.b,
+            &mut self.c,
+            |_ctx, chunk| {
+                kernel.apply(chunk.a, chunk.b, chunk.c, scalar);
+            },
+        );
         start.elapsed().as_secs_f64()
     }
 
     /// Runs the full STREAM sequence (`ntimes` repetitions of
     /// Copy→Scale→Add→Triad) on the worker pool and returns the per-kernel
     /// best-of-N bandwidths, exactly like the reference benchmark.
-    pub fn run(&self, pool: &PinnedPool) -> BandwidthReport {
+    pub fn run(&mut self, pool: &PinnedPool) -> BandwidthReport {
         let mut report = BandwidthReport::new(pool.len());
         for _ in 0..self.config.ntimes {
             for kernel in Kernel::ALL {
@@ -77,6 +70,18 @@ impl VolatileStream {
             }
         }
         report
+    }
+
+    /// The current contents of the three arrays (`a`, `b`, `c`) — used by
+    /// equality tests comparing serial and parallel runs bit-for-bit.
+    pub fn arrays(&self) -> (&[f64], &[f64], &[f64]) {
+        (&self.a, &self.b, &self.c)
+    }
+
+    /// Overwrites element `index` of array `c` (test hook for validation).
+    #[cfg(test)]
+    fn corrupt_c(&mut self, index: usize, value: f64) {
+        self.c[index] = value;
     }
 
     /// Validates the arrays against the analytically expected values, as the
@@ -93,9 +98,9 @@ impl VolatileStream {
                 }
             }
         };
-        check(ea, &self.a.read(), &mut max_err);
-        check(eb, &self.b.read(), &mut max_err);
-        check(ec, &self.c.read(), &mut max_err);
+        check(ea, &self.a, &mut max_err);
+        check(eb, &self.b, &mut max_err);
+        check(ec, &self.c, &mut max_err);
         max_err
     }
 }
@@ -114,7 +119,7 @@ mod tests {
 
     #[test]
     fn single_threaded_run_validates() {
-        let stream = VolatileStream::new(StreamConfig::small(10_000));
+        let mut stream = VolatileStream::new(StreamConfig::small(10_000));
         let report = stream.run(&pool(1));
         assert!(stream.validate() < 1e-12);
         assert_eq!(report.measurements().len(), 4 * 3);
@@ -126,27 +131,56 @@ mod tests {
     #[test]
     fn multi_threaded_run_produces_identical_results() {
         let config = StreamConfig::small(50_000);
-        let serial = VolatileStream::new(config);
+        let mut serial = VolatileStream::new(config);
         serial.run(&pool(1));
-        let parallel = VolatileStream::new(config);
+        let mut parallel = VolatileStream::new(config);
         parallel.run(&pool(8));
         assert!(serial.validate() < 1e-12);
         assert!(parallel.validate() < 1e-12);
     }
 
     #[test]
+    fn serial_and_parallel_runs_agree_bitwise() {
+        // The partitioned in-place path must be numerically *identical* to a
+        // serial run — same element-wise operations, no reassociation.
+        let config = StreamConfig::small(12_345);
+        let mut serial = VolatileStream::new(config);
+        serial.run(&pool(1));
+        for threads in [2, 3, 7, 8] {
+            let mut parallel = VolatileStream::new(config);
+            parallel.run(&pool(threads));
+            let (sa, sb, sc) = serial.arrays();
+            let (pa, pb, pc) = parallel.arrays();
+            for (s, p) in [(sa, pa), (sb, pb), (sc, pc)] {
+                assert!(
+                    s.iter()
+                        .zip(p.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{threads}-thread run diverged bitwise from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn validation_detects_corruption() {
-        let stream = VolatileStream::new(StreamConfig::small(1000));
+        let mut stream = VolatileStream::new(StreamConfig::small(1000));
         stream.run(&pool(2));
-        stream.c.write()[500] = -1.0e9;
+        stream.corrupt_c(500, -1.0e9);
         assert!(stream.validate() > 1e-3);
     }
 
     #[test]
     fn awkward_sizes_are_handled() {
-        // Element counts that do not divide evenly by the thread count.
-        let stream = VolatileStream::new(StreamConfig::small(10_007));
-        stream.run(&pool(7));
-        assert!(stream.validate() < 1e-12);
+        // Element counts that do not divide evenly by the thread count,
+        // prime counts, and fewer elements than workers.
+        for (elements, threads) in [(10_007, 7), (9973, 8), (3, 8), (1, 4), (17, 16)] {
+            let mut stream = VolatileStream::new(StreamConfig::small(elements));
+            stream.run(&pool(threads));
+            assert!(
+                stream.validate() < 1e-12,
+                "{elements} elements on {threads} threads"
+            );
+        }
     }
 }

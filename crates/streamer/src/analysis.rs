@@ -14,11 +14,10 @@
 
 use cxl_pmem::{AccessMode, CxlPmemRuntime, Result as RuntimeResult};
 use numa::AffinityPolicy;
-use serde::{Deserialize, Serialize};
 use stream_bench::{Kernel, SimulatedStream, StreamConfig};
 
 /// One derived claim: the paper's expectation and our measured value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Claim {
     /// Short name.
     pub name: String,
@@ -31,7 +30,7 @@ pub struct Claim {
 }
 
 /// The full recomputed analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// All derived claims.
     pub claims: Vec<Claim>,
@@ -58,8 +57,9 @@ impl Analysis {
         // CXL fabric cost: what the same DDR4-1333 modules would deliver if
         // they sat behind a plain local memory controller instead of the
         // PCIe + FPGA pipeline.
-        let raw_ddr4_1333 =
-            2.0 * memsim::calibration::DDR4_1333_MODULE_PEAK_GBS * memsim::calibration::DDR_STREAM_EFFICIENCY;
+        let raw_ddr4_1333 = 2.0
+            * memsim::calibration::DDR4_1333_MODULE_PEAK_GBS
+            * memsim::calibration::DDR_STREAM_EFFICIENCY;
         let fabric_loss = (raw_ddr4_1333 - cxl_mm).max(0.0);
 
         let remote_drop = 1.0 - remote_ad / local_ad;
@@ -145,7 +145,11 @@ mod tests {
         let analysis = Analysis::compute().unwrap();
         assert_eq!(analysis.claims.len(), 7);
         for claim in &analysis.claims {
-            assert!(claim.holds, "claim failed: {} measured {}", claim.name, claim.measured);
+            assert!(
+                claim.holds,
+                "claim failed: {} measured {}",
+                claim.name, claim.measured
+            );
         }
         assert!(analysis.all_hold());
     }

@@ -12,7 +12,10 @@ pub fn render_topology(runtime: &CxlPmemRuntime) -> String {
     for socket in 0..runtime.topology().sockets().len() {
         for node in 0..runtime.topology().nodes().len() {
             if let Ok(path) = machine.path(socket, node) {
-                out.push_str(&format!("  socket{socket} -> node{node}: {}\n", path.render()));
+                out.push_str(&format!(
+                    "  socket{socket} -> node{node}: {}\n",
+                    path.render()
+                ));
             }
         }
     }
@@ -54,7 +57,10 @@ pub fn render_dataflow(group: TestGroup) -> String {
                     .path(socket, trend.data_node)
                     .map(|p| p.render())
                     .unwrap_or_else(|_| "?".to_string());
-                format!("socket{socket} ({count} threads) --[{path}]--> node{}", trend.data_node)
+                format!(
+                    "socket{socket} ({count} threads) --[{path}]--> node{}",
+                    trend.data_node
+                )
             })
             .collect();
         out.push_str(&format!(
@@ -74,9 +80,15 @@ pub fn render_dataflow(group: TestGroup) -> String {
 /// Renders the "today vs CXL future" migration sketch of Figure 1.
 pub fn render_migration_overview() -> String {
     let mut out = String::new();
-    out.push_str("Today:        [DDR4 DIMMs]--CPU--[PMem DIMMs]      CPU--PCIe Gen4--[NVMe SSDs]\n");
-    out.push_str("CXL future:   [DDR5 DIMMs]--CPU--PCIe Gen5/CXL--[CXL memory as PMem]  +  [NVMe SSDs]\n");
-    out.push_str("The CXL expander sits outside the node, can be battery-backed once for all hosts,\n");
+    out.push_str(
+        "Today:        [DDR4 DIMMs]--CPU--[PMem DIMMs]      CPU--PCIe Gen4--[NVMe SSDs]\n",
+    );
+    out.push_str(
+        "CXL future:   [DDR5 DIMMs]--CPU--PCIe Gen5/CXL--[CXL memory as PMem]  +  [NVMe SSDs]\n",
+    );
+    out.push_str(
+        "The CXL expander sits outside the node, can be battery-backed once for all hosts,\n",
+    );
     out.push_str("and is reached through the cache-coherent CXL.mem protocol.\n");
     out
 }

@@ -2,12 +2,11 @@
 
 use crate::groups::{TestGroup, Trend};
 use cxl_pmem::Result as RuntimeResult;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+
 use stream_bench::{Kernel, SimulatedStream, StreamConfig};
 
 /// One plotted series: a trend's bandwidth at every thread count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrendSeries {
     /// Legend label.
     pub label: String,
@@ -25,7 +24,7 @@ impl TrendSeries {
 }
 
 /// One sub-figure: a kernel × test-group sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureData {
     /// Paper figure number (5 = Scale, 6 = Add, 7 = Copy, 8 = Triad).
     pub figure: u32,
@@ -54,7 +53,7 @@ impl FigureData {
     ) -> RuntimeResult<Self> {
         let trends = group.trends();
         let series: RuntimeResult<Vec<TrendSeries>> = trends
-            .par_iter()
+            .iter()
             .map(|trend| Self::series_for(kernel, group, trend, config))
             .collect();
         Ok(FigureData {
@@ -123,9 +122,18 @@ impl FigureData {
         out.push_str("\n|---|");
         out.push_str(&"---|".repeat(self.trends.len()));
         out.push('\n');
-        let max_points = self.trends.iter().map(|t| t.points.len()).max().unwrap_or(0);
+        let max_points = self
+            .trends
+            .iter()
+            .map(|t| t.points.len())
+            .max()
+            .unwrap_or(0);
         for row in 0..max_points {
-            let threads = self.trends[0].points.get(row).map(|p| p.0).unwrap_or(row + 1);
+            let threads = self.trends[0]
+                .points
+                .get(row)
+                .map(|p| p.0)
+                .unwrap_or(row + 1);
             out.push_str(&format!("| {threads} |"));
             for trend in &self.trends {
                 match trend.points.get(row) {
@@ -149,8 +157,9 @@ mod tests {
 
     #[test]
     fn class1a_saturates_in_the_paper_band() {
-        let fig = FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1aLocalPmem, small())
-            .unwrap();
+        let fig =
+            FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1aLocalPmem, small())
+                .unwrap();
         assert_eq!(fig.figure, 5);
         assert_eq!(fig.subfigure, 'a');
         assert_eq!(fig.trends.len(), 2);
@@ -164,9 +173,14 @@ mod tests {
 
     #[test]
     fn class1b_cxl_is_about_half_of_remote_ddr5() {
-        let fig = FigureData::generate_with_config(Kernel::Triad, TestGroup::Class1bRemotePmem, small())
+        let fig =
+            FigureData::generate_with_config(Kernel::Triad, TestGroup::Class1bRemotePmem, small())
+                .unwrap();
+        let remote = fig
+            .trends
+            .iter()
+            .find(|t| t.label.contains("remote DDR5"))
             .unwrap();
-        let remote = fig.trends.iter().find(|t| t.label.contains("remote DDR5")).unwrap();
         let cxl = fig.trends.iter().find(|t| t.label.contains("CXL")).unwrap();
         let ratio = cxl.peak_gbs() / remote.peak_gbs();
         assert!(ratio > 0.4 && ratio < 0.75, "cxl/remote peak ratio {ratio}");
@@ -176,8 +190,9 @@ mod tests {
 
     #[test]
     fn class1c_close_and_spread_converge_at_full_core_count() {
-        let fig = FigureData::generate_with_config(Kernel::Copy, TestGroup::Class1cAffinity, small())
-            .unwrap();
+        let fig =
+            FigureData::generate_with_config(Kernel::Copy, TestGroup::Class1cAffinity, small())
+                .unwrap();
         assert_eq!(fig.trends.len(), 4);
         let close_cxl = fig
             .trends
@@ -197,8 +212,9 @@ mod tests {
 
     #[test]
     fn class2a_has_a_setup2_ddr4_trend_comparable_to_cxl() {
-        let fig = FigureData::generate_with_config(Kernel::Add, TestGroup::Class2aRemoteNuma, small())
-            .unwrap();
+        let fig =
+            FigureData::generate_with_config(Kernel::Add, TestGroup::Class2aRemoteNuma, small())
+                .unwrap();
         assert_eq!(fig.trends.len(), 3);
         let cxl = fig.trends.iter().find(|t| t.symbol == '×').unwrap();
         let ddr4 = fig.trends.iter().find(|t| t.symbol == '▲').unwrap();
@@ -209,8 +225,9 @@ mod tests {
 
     #[test]
     fn csv_and_markdown_outputs_contain_every_trend() {
-        let fig = FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1bRemotePmem, small())
-            .unwrap();
+        let fig =
+            FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1bRemotePmem, small())
+                .unwrap();
         let csv = fig.to_csv();
         let md = fig.to_markdown();
         for trend in &fig.trends {

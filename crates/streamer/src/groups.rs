@@ -9,10 +9,9 @@
 
 use cxl_pmem::{AccessMode, CxlPmemRuntime};
 use numa::{AffinityPolicy, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// The five test groups (sub-figures (a)–(e) of each figure).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TestGroup {
     /// Class 1.(a): local memory access as PMem (App-Direct).
     Class1aLocalPmem,
@@ -85,49 +84,119 @@ impl TestGroup {
     pub fn trends(&self) -> Vec<Trend> {
         match self {
             TestGroup::Class1aLocalPmem => vec![
-                Trend::setup1("● pmem#0 (local DDR5, socket0 cores)", MemorySymbol::OnNodeDdr5,
-                    AffinityPolicy::SingleSocket(0), 0, AccessMode::AppDirect),
-                Trend::setup1("● pmem#1 (local DDR5, socket1 cores)", MemorySymbol::OnNodeDdr5,
-                    AffinityPolicy::SingleSocket(1), 1, AccessMode::AppDirect),
+                Trend::setup1(
+                    "● pmem#0 (local DDR5, socket0 cores)",
+                    MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(0),
+                    0,
+                    AccessMode::AppDirect,
+                ),
+                Trend::setup1(
+                    "● pmem#1 (local DDR5, socket1 cores)",
+                    MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(1),
+                    1,
+                    AccessMode::AppDirect,
+                ),
             ],
             TestGroup::Class1bRemotePmem => vec![
-                Trend::setup1("● pmem#1 (remote DDR5 via UPI, socket0 cores)", MemorySymbol::OnNodeDdr5,
-                    AffinityPolicy::SingleSocket(0), 1, AccessMode::AppDirect),
-                Trend::setup1("× pmem#2 (CXL DDR4, socket0 cores)", MemorySymbol::CxlDdr4,
-                    AffinityPolicy::SingleSocket(0), 2, AccessMode::AppDirect),
+                Trend::setup1(
+                    "● pmem#1 (remote DDR5 via UPI, socket0 cores)",
+                    MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(0),
+                    1,
+                    AccessMode::AppDirect,
+                ),
+                Trend::setup1(
+                    "× pmem#2 (CXL DDR4, socket0 cores)",
+                    MemorySymbol::CxlDdr4,
+                    AffinityPolicy::SingleSocket(0),
+                    2,
+                    AccessMode::AppDirect,
+                ),
             ],
             TestGroup::Class1cAffinity => vec![
-                Trend::setup1("● pmem#0 (DDR5, both sockets, close)", MemorySymbol::OnNodeDdr5,
-                    AffinityPolicy::close(), 0, AccessMode::AppDirect),
-                Trend::setup1("● pmem#0 (DDR5, both sockets, spread)", MemorySymbol::OnNodeDdr5,
-                    AffinityPolicy::spread(), 0, AccessMode::AppDirect),
-                Trend::setup1("× pmem#2 (CXL DDR4, both sockets, close)", MemorySymbol::CxlDdr4,
-                    AffinityPolicy::close(), 2, AccessMode::AppDirect),
-                Trend::setup1("× pmem#2 (CXL DDR4, both sockets, spread)", MemorySymbol::CxlDdr4,
-                    AffinityPolicy::spread(), 2, AccessMode::AppDirect),
+                Trend::setup1(
+                    "● pmem#0 (DDR5, both sockets, close)",
+                    MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::close(),
+                    0,
+                    AccessMode::AppDirect,
+                ),
+                Trend::setup1(
+                    "● pmem#0 (DDR5, both sockets, spread)",
+                    MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::spread(),
+                    0,
+                    AccessMode::AppDirect,
+                ),
+                Trend::setup1(
+                    "× pmem#2 (CXL DDR4, both sockets, close)",
+                    MemorySymbol::CxlDdr4,
+                    AffinityPolicy::close(),
+                    2,
+                    AccessMode::AppDirect,
+                ),
+                Trend::setup1(
+                    "× pmem#2 (CXL DDR4, both sockets, spread)",
+                    MemorySymbol::CxlDdr4,
+                    AffinityPolicy::spread(),
+                    2,
+                    AccessMode::AppDirect,
+                ),
             ],
             TestGroup::Class2aRemoteNuma => vec![
-                Trend::setup1("● numa#1 (remote DDR5 via UPI, socket0 cores)", MemorySymbol::OnNodeDdr5,
-                    AffinityPolicy::SingleSocket(0), 1, AccessMode::MemoryMode),
-                Trend::setup1("× numa#2 (CXL DDR4, socket0 cores)", MemorySymbol::CxlDdr4,
-                    AffinityPolicy::SingleSocket(0), 2, AccessMode::MemoryMode),
-                Trend::setup2("▲ numa#1 (on-node DDR4 via UPI, socket0 cores, setup #2)", MemorySymbol::OnNodeDdr4,
-                    AffinityPolicy::SingleSocket(0), 1, AccessMode::MemoryMode),
+                Trend::setup1(
+                    "● numa#1 (remote DDR5 via UPI, socket0 cores)",
+                    MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::SingleSocket(0),
+                    1,
+                    AccessMode::MemoryMode,
+                ),
+                Trend::setup1(
+                    "× numa#2 (CXL DDR4, socket0 cores)",
+                    MemorySymbol::CxlDdr4,
+                    AffinityPolicy::SingleSocket(0),
+                    2,
+                    AccessMode::MemoryMode,
+                ),
+                Trend::setup2(
+                    "▲ numa#1 (on-node DDR4 via UPI, socket0 cores, setup #2)",
+                    MemorySymbol::OnNodeDdr4,
+                    AffinityPolicy::SingleSocket(0),
+                    1,
+                    AccessMode::MemoryMode,
+                ),
             ],
             TestGroup::Class2bRemoteNumaAllCores => vec![
-                Trend::setup1("● numa#1 (DDR5, all cores)", MemorySymbol::OnNodeDdr5,
-                    AffinityPolicy::close(), 1, AccessMode::MemoryMode),
-                Trend::setup1("× numa#2 (CXL DDR4, all cores)", MemorySymbol::CxlDdr4,
-                    AffinityPolicy::close(), 2, AccessMode::MemoryMode),
-                Trend::setup2("▲ numa#0 (on-node DDR4, all cores, setup #2)", MemorySymbol::OnNodeDdr4,
-                    AffinityPolicy::close(), 0, AccessMode::MemoryMode),
+                Trend::setup1(
+                    "● numa#1 (DDR5, all cores)",
+                    MemorySymbol::OnNodeDdr5,
+                    AffinityPolicy::close(),
+                    1,
+                    AccessMode::MemoryMode,
+                ),
+                Trend::setup1(
+                    "× numa#2 (CXL DDR4, all cores)",
+                    MemorySymbol::CxlDdr4,
+                    AffinityPolicy::close(),
+                    2,
+                    AccessMode::MemoryMode,
+                ),
+                Trend::setup2(
+                    "▲ numa#0 (on-node DDR4, all cores, setup #2)",
+                    MemorySymbol::OnNodeDdr4,
+                    AffinityPolicy::close(),
+                    0,
+                    AccessMode::MemoryMode,
+                ),
             ],
         }
     }
 }
 
 /// The legend symbol classes of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemorySymbol {
     /// ▲ on-node DDR4 (Setup #2).
     OnNodeDdr4,
@@ -149,7 +218,7 @@ impl MemorySymbol {
 }
 
 /// One legend entry: which setup, which cores, which memory, which mode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trend {
     /// Human-readable label (symbol + annotation, as in the paper's legends).
     pub label: String,
@@ -166,7 +235,7 @@ pub struct Trend {
 }
 
 /// Which machine a trend runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrendSetup {
     /// Setup #1 — Sapphire Rapids + CXL.
     Setup1,
@@ -227,7 +296,9 @@ mod tests {
     fn five_groups_with_paper_titles() {
         assert_eq!(TestGroup::ALL.len(), 5);
         assert!(TestGroup::Class1aLocalPmem.title().contains("Local memory"));
-        assert!(TestGroup::Class2bRemoteNumaAllCores.title().contains("all cores"));
+        assert!(TestGroup::Class2bRemoteNumaAllCores
+            .title()
+            .contains("all cores"));
         assert_eq!(TestGroup::Class1aLocalPmem.subfigure(), 'a');
         assert_eq!(TestGroup::Class2bRemoteNumaAllCores.subfigure(), 'e');
     }
@@ -253,10 +324,19 @@ mod tests {
             TestGroup::Class1bRemotePmem,
             TestGroup::Class1cAffinity,
         ] {
-            assert!(group.trends().iter().all(|t| t.mode == AccessMode::AppDirect));
+            assert!(group
+                .trends()
+                .iter()
+                .all(|t| t.mode == AccessMode::AppDirect));
         }
-        for group in [TestGroup::Class2aRemoteNuma, TestGroup::Class2bRemoteNumaAllCores] {
-            assert!(group.trends().iter().all(|t| t.mode == AccessMode::MemoryMode));
+        for group in [
+            TestGroup::Class2aRemoteNuma,
+            TestGroup::Class2bRemoteNumaAllCores,
+        ] {
+            assert!(group
+                .trends()
+                .iter()
+                .all(|t| t.mode == AccessMode::MemoryMode));
         }
     }
 

@@ -12,10 +12,10 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use stream_bench::Kernel;
 use streamer::figures::FigureData;
 use streamer::groups::TestGroup;
 use streamer::{analysis::Analysis, dataflow, headline_table, table1, table2};
-use stream_bench::Kernel;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -111,12 +111,22 @@ fn cmd_figure(options: &HashMap<String, String>) -> Result<(), String> {
         let figure = FigureData::generate(kernel, group).map_err(|e| e.to_string())?;
         let (name, content) = if csv {
             (
-                format!("figure{}{}_{}.csv", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                format!(
+                    "figure{}{}_{}.csv",
+                    figure.figure,
+                    figure.subfigure,
+                    kernel.name().to_lowercase()
+                ),
                 figure.to_csv(),
             )
         } else {
             (
-                format!("figure{}{}_{}.md", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                format!(
+                    "figure{}{}_{}.md",
+                    figure.figure,
+                    figure.subfigure,
+                    kernel.name().to_lowercase()
+                ),
                 figure.to_markdown(),
             )
         };
@@ -129,7 +139,8 @@ fn cmd_group(positional: &[String], options: &HashMap<String, String>) -> Result
     let Some(group_name) = positional.first() else {
         return Err("group command needs a group id (1a..2b)".to_string());
     };
-    let group = TestGroup::parse(group_name).ok_or_else(|| format!("unknown group '{group_name}'"))?;
+    let group =
+        TestGroup::parse(group_name).ok_or_else(|| format!("unknown group '{group_name}'"))?;
     let kernel = kernel_from(options)?;
     let figure = FigureData::generate(kernel, group).map_err(|e| e.to_string())?;
     println!("{}", figure.to_markdown());
@@ -186,24 +197,48 @@ fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
             let figure = FigureData::generate(kernel, group).map_err(|e| e.to_string())?;
             emit(
                 Some(&out),
-                &format!("figure{}{}_{}.csv", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                &format!(
+                    "figure{}{}_{}.csv",
+                    figure.figure,
+                    figure.subfigure,
+                    kernel.name().to_lowercase()
+                ),
                 &figure.to_csv(),
             )?;
             emit(
                 Some(&out),
-                &format!("figure{}{}_{}.md", figure.figure, figure.subfigure, kernel.name().to_lowercase()),
+                &format!(
+                    "figure{}{}_{}.md",
+                    figure.figure,
+                    figure.subfigure,
+                    kernel.name().to_lowercase()
+                ),
                 &figure.to_markdown(),
             )?;
         }
     }
     let runtime = cxl_pmem::CxlPmemRuntime::setup1();
-    emit(Some(&out), "table1.md", &table1(&runtime).map_err(|e| e.to_string())?.to_markdown())?;
-    emit(Some(&out), "table2.md", &table2().map_err(|e| e.to_string())?.to_markdown())?;
-    emit(Some(&out), "headline.md", &headline_table().map_err(|e| e.to_string())?.to_markdown())?;
+    emit(
+        Some(&out),
+        "table1.md",
+        &table1(&runtime).map_err(|e| e.to_string())?.to_markdown(),
+    )?;
+    emit(
+        Some(&out),
+        "table2.md",
+        &table2().map_err(|e| e.to_string())?.to_markdown(),
+    )?;
+    emit(
+        Some(&out),
+        "headline.md",
+        &headline_table().map_err(|e| e.to_string())?.to_markdown(),
+    )?;
     emit(
         Some(&out),
         "analysis.md",
-        &Analysis::compute().map_err(|e| e.to_string())?.to_markdown(),
+        &Analysis::compute()
+            .map_err(|e| e.to_string())?
+            .to_markdown(),
     )?;
     Ok(())
 }

@@ -1,10 +1,9 @@
 //! Table generation: Table 1, Table 2 and the headline DCPMM comparison.
 
 use cxl_pmem::{AccessMode, CxlPmemRuntime, ModeProperties, Result as RuntimeResult};
-use serde::{Deserialize, Serialize};
 
 /// A rendered table: a title, column headers and string rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Table title.
     pub title: String,
@@ -67,8 +66,8 @@ pub fn table1(runtime: &CxlPmemRuntime) -> RuntimeResult<Table> {
         rows: vec![
             row(
                 "Volatility",
-                format!("{}", if memory_mode.volatile { "Volatile" } else { "Non-volatile" }),
-                format!("{}", if app_direct.volatile { "Volatile" } else { "Non-volatile" }),
+                (if memory_mode.volatile { "Volatile" } else { "Non-volatile" }).to_string(),
+                (if app_direct.volatile { "Volatile" } else { "Non-volatile" }).to_string(),
             ),
             row("Access", memory_mode.access.clone(), app_direct.access.clone()),
             row(

@@ -1,0 +1,452 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests use a small slice of proptest: the
+//! `proptest!` macro with `name in strategy` parameters, integer/float range
+//! strategies, `any::<T>()`, and `proptest::collection::{vec, btree_set}`.
+//! This crate reimplements exactly that slice with a deterministic splitmix64
+//! generator. Failing cases are reported with their case number and seed so
+//! they can be reproduced; there is no shrinking.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; 64 keeps the heavier array/engine
+        // properties fast while still covering the awkward boundary cases.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic splitmix64 generator; seeded from the property's name so
+/// every test is reproducible run-to-run.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator deterministically from a test name.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(seed)
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift bounded sampling; bias is negligible for test bounds.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why one test case did not pass: a genuine failure or a rejected
+/// assumption (`prop_assume!`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input does not satisfy the property's preconditions; skip it.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected assumption with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "test case failed: {reason}"),
+            TestCaseError::Reject(reason) => write!(f, "test case rejected: {reason}"),
+        }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                    (*self.start() as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $ty) * (self.end - self.start)
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Types with a full-domain random generator (the `any::<T>()` strategy).
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Full bit-pattern coverage (including NaN/inf): round-trip properties
+        // compare via `to_bits`, so every pattern must be reachable.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// Strategy for an unconstrained value of `T` — see [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// An unconstrained strategy over every value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Conversion of a sampled size value into `usize` — lets size strategies be
+/// written as untyped integer ranges (`1..40` infers `i32`).
+pub trait IntoSize {
+    /// The value as a collection length.
+    fn into_size(self) -> usize;
+}
+
+macro_rules! impl_into_size {
+    ($($ty:ty),*) => {
+        $(
+            impl IntoSize for $ty {
+                fn into_size(self) -> usize {
+                    usize::try_from(self).expect("negative collection size")
+                }
+            }
+        )*
+    };
+}
+
+impl_into_size!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy over both boolean values.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Either `true` or `false`, evenly.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{IntoSize, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<E, S> {
+        element: E,
+        size: S,
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<E, S>(element: E, size: S) -> VecStrategy<E, S>
+    where
+        E: Strategy,
+        S: Strategy,
+        S::Value: IntoSize,
+    {
+        VecStrategy { element, size }
+    }
+
+    impl<E, S> Strategy for VecStrategy<E, S>
+    where
+        E: Strategy,
+        S: Strategy,
+        S::Value: IntoSize,
+    {
+        type Value = Vec<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<E::Value> {
+            let n = self.size.sample(rng).into_size();
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy producing `BTreeSet`s of up to `size` drawn elements.
+    pub struct BTreeSetStrategy<E, S> {
+        element: E,
+        size: S,
+    }
+
+    /// Sets of `element` values; up to `size` draws (duplicates collapse).
+    pub fn btree_set<E, S>(element: E, size: S) -> BTreeSetStrategy<E, S>
+    where
+        E: Strategy,
+        E::Value: Ord,
+        S: Strategy,
+        S::Value: IntoSize,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<E, S> Strategy for BTreeSetStrategy<E, S>
+    where
+        E: Strategy,
+        E::Value: Ord,
+        S: Strategy,
+        S::Value: IntoSize,
+    {
+        type Value = BTreeSet<E::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<E::Value> {
+            let n = self.size.sample(rng).into_size();
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// the body over `cases` random draws of every argument.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                    // The body runs in a `Result` closure so it can use
+                    // `return Err(TestCaseError::...)` and `prop_assume!`,
+                    // exactly like real proptest bodies.
+                    let __outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => {}
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(__reason)) => {
+                            panic!("property {} failed at case {}: {}", stringify!($name), __case, __reason);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let w = Strategy::sample(&(5u64..=5), &mut rng);
+            assert_eq!(w, 5);
+            let f = Strategy::sample(&(0.5f64..4.0), &mut rng);
+            assert!((0.5..4.0).contains(&f));
+            let i = Strategy::sample(&(-10i32..10), &mut rng);
+            assert!((-10..10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = TestRng::deterministic("collections");
+        for _ in 0..100 {
+            let v = Strategy::sample(&collection::vec(any::<u8>(), 1..9), &mut rng);
+            assert!(!v.is_empty() && v.len() < 9);
+            let s = Strategy::sample(&collection::btree_set(0usize..4, 0..32), &mut rng);
+            assert!(s.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut r2 = TestRng::deterministic("y");
+        assert_ne!(a[0], r2.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_macro_round_trips(len in 1usize..50, bytes in collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!((1..50).contains(&len));
+            prop_assert_eq!(bytes.len(), bytes.clone().len());
+        }
+    }
+}

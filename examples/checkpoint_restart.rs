@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pool.set_crash_point(Some(CrashPoint::BeforeCommit));
     // This checkpoint attempt dies mid-transaction.
     let crashed = state.store_slice_tx(0, &vec![9.9; N]);
-    assert!(crashed.is_err(), "the injected crash must abort the checkpoint");
+    assert!(
+        crashed.is_err(),
+        "the injected crash must abort the checkpoint"
+    );
 
     // Phase 2: "reboot" — recovery rolls back the torn checkpoint, and the run
     // resumes from the last durable iteration (20), not from zero and not from
@@ -89,13 +92,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rolled_back = pool.recover()?;
     println!("  recovery rolled back a torn transaction: {rolled_back}");
     let state = PersistentArray::<f64>::from_oid(pool.pool(), state.typed_oid());
-    let counter = PersistentArray::<u64>::from_oid(
-        pool.pool(),
-        TypedOid::new(counter.typed_oid().oid(), 1),
-    );
+    let counter =
+        PersistentArray::<u64>::from_oid(pool.pool(), TypedOid::new(counter.typed_oid().oid(), 1));
     let resumed_from = counter.get(0)?;
     println!("  resuming from iteration {resumed_from}");
-    assert_eq!(resumed_from, 20, "must resume from the last durable checkpoint");
+    assert_eq!(
+        resumed_from, 20,
+        "must resume from the last durable checkpoint"
+    );
     let finished = run_until(&state, &counter, None)?;
     println!("  finished at iteration {finished}");
     assert_eq!(finished, TOTAL_ITERATIONS);

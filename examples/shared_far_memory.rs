@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut readback = vec![0u8; checkpoint.len()];
     region.read(1, 0, &mut readback)?;
     assert_eq!(readback, checkpoint);
-    println!("host 1 acquired version {} and verified the checkpoint", version);
+    println!(
+        "host 1 acquired version {} and verified the checkpoint",
+        version
+    );
 
     // The pool can be re-provisioned dynamically as demand shifts.
     switch.release(allocation.id)?;

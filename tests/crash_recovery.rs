@@ -5,9 +5,9 @@
 use std::sync::Arc;
 use streamer_repro::cxl::{FpgaPrototype, Type3Device};
 use streamer_repro::cxl_pmem::CxlDeviceBackend;
+use streamer_repro::numa::{AffinityPolicy, PinnedPool};
 use streamer_repro::pmem::{CrashPoint, PersistentArray, PmemPool, TypedOid};
 use streamer_repro::stream::{PmemStream, StreamConfig};
-use streamer_repro::numa::{AffinityPolicy, PinnedPool};
 
 const POOL_BYTES: u64 = 32 * 1024 * 1024;
 
@@ -42,7 +42,10 @@ fn torn_transaction_on_the_expander_rolls_back_across_reopen() {
     let array = PersistentArray::<u64>::from_oid(&pool, oid);
     let mut values = vec![0u64; 1024];
     array.load_slice(0, &mut values).unwrap();
-    assert!(values.iter().all(|&v| v == 1), "torn checkpoint must roll back");
+    assert!(
+        values.iter().all(|&v| v == 1),
+        "torn checkpoint must roll back"
+    );
 }
 
 #[test]

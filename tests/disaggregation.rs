@@ -41,7 +41,7 @@ fn rack_pool_provisions_and_reclaims_capacity_across_hosts() {
 fn two_hosts_coordinate_through_the_shared_far_memory_segment() {
     let card = FpgaPrototype::paper_prototype();
     let region = Arc::new(
-        SharedRegion::new(card.endpoint(), 0, 1 * GIB, CoherenceMode::SoftwareManaged).unwrap(),
+        SharedRegion::new(card.endpoint(), 0, GIB, CoherenceMode::SoftwareManaged).unwrap(),
     );
     region.attach(0);
     region.attach(1);
@@ -88,10 +88,22 @@ fn memory_mode_expansion_trades_bandwidth_for_capacity() {
 
     let bytes_per_thread = 2 * GIB;
     let local_only = runtime
-        .simulate_expansion_phase("fits", &placement, &fits_locally, bytes_per_thread, bytes_per_thread / 2)
+        .simulate_expansion_phase(
+            "fits",
+            &placement,
+            &fits_locally,
+            bytes_per_thread,
+            bytes_per_thread / 2,
+        )
         .unwrap();
     let expanded = runtime
-        .simulate_expansion_phase("spills", &placement, &spills, bytes_per_thread, bytes_per_thread / 2)
+        .simulate_expansion_phase(
+            "spills",
+            &placement,
+            &spills,
+            bytes_per_thread,
+            bytes_per_thread / 2,
+        )
         .unwrap();
     // A sweep that places *everything* on the expander (the naive membind=2
     // configuration) is much slower than both the local run and the spill plan
@@ -118,21 +130,48 @@ fn upgraded_prototype_narrows_the_gap_to_local_ddr5() {
     // The paper's §2.2/§6 upgrade path: DDR5-5600 and four channels behind the
     // same CXL link should bring the expander close to the UPI-remote tier.
     let baseline = CxlPmemRuntime::setup1();
-    let upgraded = CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4), None);
-    let placement = baseline.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
+    let upgraded =
+        CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4), None);
+    let placement = baseline
+        .place(&AffinityPolicy::SingleSocket(0), 10)
+        .unwrap();
     let gb = 1_000_000_000u64;
     let base_cxl = baseline
-        .simulate_stream_phase("base", &placement, 2, gb, gb / 2, streamer_repro::cxl_pmem::AccessMode::MemoryMode)
+        .simulate_stream_phase(
+            "base",
+            &placement,
+            2,
+            gb,
+            gb / 2,
+            streamer_repro::cxl_pmem::AccessMode::MemoryMode,
+        )
         .unwrap()
         .bandwidth_gbs;
     let upgraded_cxl = upgraded
-        .simulate_stream_phase("upgraded", &placement, 2, gb, gb / 2, streamer_repro::cxl_pmem::AccessMode::MemoryMode)
+        .simulate_stream_phase(
+            "upgraded",
+            &placement,
+            2,
+            gb,
+            gb / 2,
+            streamer_repro::cxl_pmem::AccessMode::MemoryMode,
+        )
         .unwrap()
         .bandwidth_gbs;
     let remote_ddr5 = baseline
-        .simulate_stream_phase("remote", &placement, 1, gb, gb / 2, streamer_repro::cxl_pmem::AccessMode::MemoryMode)
+        .simulate_stream_phase(
+            "remote",
+            &placement,
+            1,
+            gb,
+            gb / 2,
+            streamer_repro::cxl_pmem::AccessMode::MemoryMode,
+        )
         .unwrap()
         .bandwidth_gbs;
     assert!(upgraded_cxl > 1.5 * base_cxl);
-    assert!(upgraded_cxl > 0.8 * remote_ddr5, "upgraded {upgraded_cxl} vs remote {remote_ddr5}");
+    assert!(
+        upgraded_cxl > 0.8 * remote_ddr5,
+        "upgraded {upgraded_cxl} vs remote {remote_ddr5}"
+    );
 }

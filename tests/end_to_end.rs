@@ -31,10 +31,12 @@ fn every_figure_subfigure_generates_for_every_kernel() {
 #[test]
 fn figure_shape_cxl_below_remote_below_local() {
     // The core qualitative result, checked on the Scale kernel (Figure 5).
-    let local = FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1aLocalPmem, small())
-        .unwrap();
-    let remote = FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1bRemotePmem, small())
-        .unwrap();
+    let local =
+        FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1aLocalPmem, small())
+            .unwrap();
+    let remote =
+        FigureData::generate_with_config(Kernel::Scale, TestGroup::Class1bRemotePmem, small())
+            .unwrap();
     let local_peak = local.trends[0].peak_gbs();
     let remote_ddr5_peak = remote
         .trends
