@@ -35,7 +35,7 @@ fn pmdk_overhead(c: &mut Criterion) {
     group.bench_function("stream_pmem_functional", |b| {
         b.iter(|| {
             let pool = PmemPool::create_volatile("bench", 16 * 1024 * 1024).expect("pool");
-            let stream = PmemStream::initiate(&pool, config).expect("arrays");
+            let mut stream = PmemStream::initiate(&pool, config).expect("arrays");
             black_box(stream.run(&worker_pool).expect("run"));
         })
     });

@@ -1,6 +1,8 @@
 //! Hot-path comparison: the legacy copy-out/copy-back `RwLock` execution core
-//! (reconstructed inline) vs the zero-copy partitioned engine, plus the naive
-//! vs memoised analytical sweep. Results land in `BENCH_stream.json` at the
+//! (reconstructed inline) vs the zero-copy partitioned engine, the
+//! spawn-per-run dispatch vs the persistent epoch-barrier pool at small array
+//! sizes (where per-invocation overhead dominates), plus the naive vs
+//! memoised analytical sweep. Results land in `BENCH_stream.json` at the
 //! repository root so regressions are diffable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -9,11 +11,104 @@ use numa::{AffinityPolicy, PinnedPool, ThreadPlacement, WorkerCtx};
 use parking_lot::RwLock;
 use std::hint::black_box;
 use std::time::Instant;
-use stream_bench::{Kernel, SimulatedStream, StreamConfig, VolatileStream};
+use stream_bench::{ChunkedArrays, Kernel, SimulatedStream, StreamConfig, VolatileStream};
 
 const ELEMENTS: usize = 1_000_000;
 const THREADS: usize = 8;
 const NTIMES: usize = 5;
+
+/// Array sizes where per-invocation dispatch overhead dominates the kernel
+/// work (the acceptance band is "≥1.2× at ≤64K elements").
+const SMALL_SIZES: [usize; 3] = [4_096, 16_384, 65_536];
+/// Repetitions per sequence and sequences per measurement for the small-array
+/// dispatch comparison.
+const SMALL_NTIMES: usize = 10;
+const SMALL_REPS: usize = 5;
+
+/// The pre-tentpole dispatch, reconstructed as the benchmark baseline: the
+/// same zero-copy `ChunkedArrays` partitioning, but **scoped threads spawned
+/// per invocation** instead of resident workers woken over the epoch barrier.
+struct SpawnPerRunDispatch {
+    workers: Vec<WorkerCtx>,
+}
+
+impl SpawnPerRunDispatch {
+    fn new(pool: &PinnedPool) -> Self {
+        SpawnPerRunDispatch {
+            workers: pool.workers().to_vec(),
+        }
+    }
+
+    fn run_kernel_once(
+        &self,
+        kernel: Kernel,
+        a: &mut [f64],
+        b: &mut [f64],
+        c: &mut [f64],
+        scalar: f64,
+    ) -> f64 {
+        let start = Instant::now();
+        let arrays = ChunkedArrays::new(a, b, c, self.workers.len());
+        std::thread::scope(|scope| {
+            for ctx in self.workers.iter().copied() {
+                let arrays = &arrays;
+                scope.spawn(move || {
+                    let chunk = arrays.chunk(ctx.thread);
+                    kernel.apply(chunk.a, chunk.b, chunk.c, scalar);
+                });
+            }
+        });
+        start.elapsed().as_secs_f64()
+    }
+
+    /// Full `ntimes` × Copy→Scale→Add→Triad sequence; returns elapsed seconds.
+    fn run_sequence(&self, config: StreamConfig, arrays: &mut SmallArrays) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..config.ntimes {
+            for kernel in Kernel::ALL {
+                total +=
+                    self.run_kernel_once(kernel, &mut arrays.a, &mut arrays.b, &mut arrays.c, 3.0);
+            }
+        }
+        total
+    }
+}
+
+struct SmallArrays {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl SmallArrays {
+    fn new(elements: usize) -> Self {
+        SmallArrays {
+            a: vec![2.0; elements],
+            b: vec![2.0; elements],
+            c: vec![0.0; elements],
+        }
+    }
+}
+
+/// The persistent-pool counterpart of [`SpawnPerRunDispatch::run_sequence`]:
+/// identical kernels and partitioning, dispatched to the resident workers.
+fn persistent_sequence(pool: &PinnedPool, config: StreamConfig, arrays: &mut SmallArrays) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..config.ntimes {
+        for kernel in Kernel::ALL {
+            let start = Instant::now();
+            stream_bench::exec::run_partitioned(
+                pool,
+                &mut arrays.a,
+                &mut arrays.b,
+                &mut arrays.c,
+                |_ctx, chunk| kernel.apply(chunk.a, chunk.b, chunk.c, 3.0),
+            );
+            total += start.elapsed().as_secs_f64();
+        }
+    }
+    total
+}
 
 /// The pre-rewrite execution core, kept verbatim as the benchmark baseline:
 /// every worker copies its chunk of all three arrays out of a `RwLock`,
@@ -161,6 +256,40 @@ fn stream_hotpath(c: &mut Criterion) {
         ));
     }
 
+    // --- spawn-per-run vs persistent pool at small sizes -------------------
+    // Per-invocation dispatch overhead is amortised over fewer elements as
+    // arrays shrink; this is where the persistent pool must earn its keep.
+    let spawn_dispatch = SpawnPerRunDispatch::new(&pool);
+    let mut small_rows = Vec::new();
+    for elements in SMALL_SIZES {
+        let small_config = StreamConfig {
+            elements,
+            ntimes: SMALL_NTIMES,
+            scalar: 3.0,
+        };
+        let spawn_s = (0..SMALL_REPS)
+            .map(|_| spawn_dispatch.run_sequence(small_config, &mut SmallArrays::new(elements)))
+            .fold(f64::INFINITY, f64::min);
+        let persistent_s = (0..SMALL_REPS)
+            .map(|_| persistent_sequence(&pool, small_config, &mut SmallArrays::new(elements)))
+            .fold(f64::INFINITY, f64::min);
+        let speedup = spawn_s / persistent_s;
+        println!(
+            "dispatch {elements:>6}e {THREADS}t ({} invocations)  spawn-per-run {:9.1} µs  \
+             persistent {:9.1} µs  speedup {speedup:.2}x",
+            SMALL_NTIMES * Kernel::ALL.len(),
+            spawn_s * 1e6,
+            persistent_s * 1e6,
+        );
+        small_rows.push(format!(
+            "    \"{elements}\": {{\"spawn_per_run_seconds\": {}, \"persistent_seconds\": {}, \
+             \"speedup\": {}}}",
+            json_number(spawn_s),
+            json_number(persistent_s),
+            json_number(speedup)
+        ));
+    }
+
     // Grid timings on one long-lived runtime — the shape the harness uses
     // (figures, tables and analysis all sweep the same engine repeatedly).
     let runtime = CxlPmemRuntime::setup1();
@@ -188,11 +317,13 @@ fn stream_hotpath(c: &mut Criterion) {
 
     let json = format!(
         "{{\n  \"elements\": {ELEMENTS},\n  \"threads\": {THREADS},\n  \"ntimes\": {NTIMES},\n  \
-         \"kernels\": {{\n{}\n  }},\n  \"sweep_grid\": {{\n    \"points\": 240,\n    \
+         \"kernels\": {{\n{}\n  }},\n  \"small_array_pool\": {{\n{}\n  }},\n  \
+         \"sweep_grid\": {{\n    \"points\": 240,\n    \
          \"naive_seconds\": {},\n    \"cached_cold_seconds\": {},\n    \
          \"cached_warm_seconds\": {},\n    \"warm_speedup\": {},\n    \
          \"cold_cache_hits\": {cold_hits},\n    \"cold_cache_misses\": {cold_misses}\n  }}\n}}\n",
         kernel_rows.join(",\n"),
+        small_rows.join(",\n"),
         json_number(naive_s),
         json_number(cached_cold_s),
         json_number(cached_warm_s),
@@ -217,6 +348,21 @@ fn stream_hotpath(c: &mut Criterion) {
         group.bench_function(format!("copy_path_{}", kernel.name()), |b| {
             let stream = LegacyCopyPathStream::new(config);
             b.iter(|| black_box(stream.run_kernel_once(kernel, &pool)))
+        });
+    }
+    for elements in [4_096usize, 65_536] {
+        let small_config = StreamConfig {
+            elements,
+            ntimes: SMALL_NTIMES,
+            scalar: 3.0,
+        };
+        group.bench_function(format!("spawn_per_run_{elements}e"), |b| {
+            let mut arrays = SmallArrays::new(elements);
+            b.iter(|| black_box(spawn_dispatch.run_sequence(small_config, &mut arrays)))
+        });
+        group.bench_function(format!("persistent_pool_{elements}e"), |b| {
+            let mut arrays = SmallArrays::new(elements);
+            b.iter(|| black_box(persistent_sequence(&pool, small_config, &mut arrays)))
         });
     }
     group.bench_function("sweep_grid_naive", |b| {

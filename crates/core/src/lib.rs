@@ -19,7 +19,11 @@
 //!
 //! * [`runtime::CxlPmemRuntime`] — construct with [`runtime::CxlPmemRuntime::setup1`]
 //!   (the paper's Sapphire Rapids + CXL machine), `setup2` (Xeon Gold DDR4) or
-//!   `dcpmm_baseline` (the published-Optane comparison machine).
+//!   `dcpmm_baseline` (the published-Optane comparison machine). The runtime
+//!   also provisions and owns the resident [`numa::PinnedPool`] worker pools
+//!   ([`runtime::CxlPmemRuntime::worker_pool`]), so repeated STREAM
+//!   invocations share parked, logically pinned OS threads instead of
+//!   respawning them.
 //! * [`backend::CxlDeviceBackend`] — a `pmem::PoolBackend` storing pool bytes
 //!   on a `cxl::Type3Device`, i.e. the pool really lives on the (modelled)
 //!   expander.

@@ -6,10 +6,11 @@ use crate::placement::TierPolicy;
 use cxl::FpgaPrototype;
 use memsim::access::{ThreadTraffic, TrafficPhase};
 use memsim::{Engine, Machine, PhaseReport, SimError};
-use numa::{AffinityPolicy, NodeId, NumaError, ThreadPlacement, Topology};
+use numa::{AffinityPolicy, NodeId, NumaError, PinnedPool, ThreadPlacement, Topology};
 use pmem::{PmemError, PmemPool, VolatileBackend};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Errors surfaced by the runtime.
 #[derive(Debug)]
@@ -129,9 +130,22 @@ pub struct CxlPmemRuntime {
     kind: SetupKind,
     engine: Engine,
     fpga: Option<FpgaPrototype>,
+    /// Resident worker pools keyed by placement (CPU list). Every STREAM
+    /// invocation with the same placement reuses the same parked OS threads —
+    /// the runtime, not each stream, owns the worker lifecycle.
+    worker_pools: Mutex<HashMap<Vec<usize>, Arc<PinnedPool>>>,
 }
 
 impl CxlPmemRuntime {
+    fn from_parts(kind: SetupKind, engine: Engine, fpga: Option<FpgaPrototype>) -> Self {
+        CxlPmemRuntime {
+            kind,
+            engine,
+            fpga,
+            worker_pools: Mutex::new(HashMap::new()),
+        }
+    }
+
     /// Builds the paper's Setup #1: dual Sapphire Rapids with a CXL-attached
     /// DDR4-1333 expander (an [`FpgaPrototype`]) exposed as NUMA node 2.
     pub fn setup1() -> Self {
@@ -145,38 +159,34 @@ impl CxlPmemRuntime {
             .expect("node 2 exists")
             .with_path(0, 2, fpga.to_memsim_path())
             .with_path(1, 2, fpga.to_memsim_path());
-        CxlPmemRuntime {
-            kind: SetupKind::SapphireRapidsCxl,
-            engine: Engine::new(machine),
-            fpga: Some(fpga),
-        }
+        Self::from_parts(
+            SetupKind::SapphireRapidsCxl,
+            Engine::new(machine),
+            Some(fpga),
+        )
     }
 
     /// Builds the paper's Setup #2: dual Xeon Gold 5215 with DDR4-2666 only.
     pub fn setup2() -> Self {
-        CxlPmemRuntime {
-            kind: SetupKind::XeonGoldDdr4,
-            engine: Engine::new(memsim::machines::xeon_gold_ddr4_machine()),
-            fpga: None,
-        }
+        Self::from_parts(
+            SetupKind::XeonGoldDdr4,
+            Engine::new(memsim::machines::xeon_gold_ddr4_machine()),
+            None,
+        )
     }
 
     /// Builds the DCPMM baseline machine (published Optane numbers on node 2).
     pub fn dcpmm_baseline() -> Self {
-        CxlPmemRuntime {
-            kind: SetupKind::SapphireRapidsDcpmm,
-            engine: Engine::new(memsim::machines::sapphire_rapids_dcpmm_machine()),
-            fpga: None,
-        }
+        Self::from_parts(
+            SetupKind::SapphireRapidsDcpmm,
+            Engine::new(memsim::machines::sapphire_rapids_dcpmm_machine()),
+            None,
+        )
     }
 
     /// Wraps a caller-provided machine (ablations, upgraded prototypes...).
     pub fn custom(machine: Machine, fpga: Option<FpgaPrototype>) -> Self {
-        CxlPmemRuntime {
-            kind: SetupKind::Custom,
-            engine: Engine::new(machine),
-            fpga,
-        }
+        Self::from_parts(SetupKind::Custom, Engine::new(machine), fpga)
     }
 
     /// Which setup this runtime models.
@@ -209,6 +219,55 @@ impl CxlPmemRuntime {
     /// Places `threads` software threads according to `policy`.
     pub fn place(&self, policy: &AffinityPolicy, threads: usize) -> crate::Result<ThreadPlacement> {
         policy.place(self.topology(), threads).map_err(Into::into)
+    }
+
+    /// The resident [`PinnedPool`] for `placement`, created (and its workers
+    /// spawned and logically pinned) on first use and cached for the runtime's
+    /// lifetime. Every functional STREAM run with the same placement reuses
+    /// the same parked worker threads instead of rebuilding a pool — the
+    /// per-invocation cost is one epoch-barrier round-trip.
+    pub fn worker_pool(&self, placement: &ThreadPlacement) -> Arc<PinnedPool> {
+        let mut pools = self
+            .worker_pools
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(
+            pools
+                .entry(placement.cpus().to_vec())
+                .or_insert_with(|| Arc::new(PinnedPool::new(self.topology(), placement))),
+        )
+    }
+
+    /// Convenience wrapper: place `threads` with `policy` and return the
+    /// resident worker pool for that placement.
+    pub fn worker_pool_for(
+        &self,
+        policy: &AffinityPolicy,
+        threads: usize,
+    ) -> crate::Result<Arc<PinnedPool>> {
+        let placement = self.place(policy, threads)?;
+        Ok(self.worker_pool(&placement))
+    }
+
+    /// Number of resident worker pools currently provisioned (one per
+    /// distinct placement that has run).
+    pub fn worker_pool_count(&self) -> usize {
+        self.worker_pools
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Drops every cached worker pool, joining the workers of any pool no
+    /// longer shared with a caller (`Arc`s handed out earlier keep theirs
+    /// alive until released). The cache is otherwise unbounded — a harness
+    /// that walks many distinct placements for *functional* runs should call
+    /// this between phases so parked threads don't accumulate.
+    pub fn release_worker_pools(&self) {
+        self.worker_pools
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     // -------------------------------------------------------------- pools
@@ -524,6 +583,42 @@ mod tests {
             .unwrap();
         // Headline claim: the CXL-DDR4 module outperforms published DCPMM numbers.
         assert!(cxl_peak > dcpmm_peak);
+    }
+
+    #[test]
+    fn worker_pools_are_provisioned_once_per_placement() {
+        let rt = CxlPmemRuntime::setup1();
+        let p8 = rt.place(&AffinityPolicy::SingleSocket(0), 8).unwrap();
+        let p4 = rt.place(&AffinityPolicy::SingleSocket(0), 4).unwrap();
+        let first = rt.worker_pool(&p8);
+        let second = rt.worker_pool(&p8);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same placement must reuse the resident pool"
+        );
+        let other = rt.worker_pool(&p4);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(rt.worker_pool_count(), 2);
+        // The resident workers really execute and carry the placement's CPUs.
+        let cpus = first.run(|ctx| ctx.cpu);
+        assert_eq!(cpus, p8.cpus());
+        // Releasing empties the cache; pools still held by callers keep
+        // working, and the next request provisions a fresh pool.
+        rt.release_worker_pools();
+        assert_eq!(rt.worker_pool_count(), 0);
+        assert_eq!(first.run(|ctx| ctx.cpu), p8.cpus());
+        let fresh = rt.worker_pool(&p8);
+        assert!(!Arc::ptr_eq(&first, &fresh));
+    }
+
+    #[test]
+    fn worker_pool_for_places_and_provisions() {
+        let rt = CxlPmemRuntime::setup1();
+        let pool = rt.worker_pool_for(&AffinityPolicy::close(), 6).unwrap();
+        assert_eq!(pool.len(), 6);
+        let again = rt.worker_pool_for(&AffinityPolicy::close(), 6).unwrap();
+        assert!(Arc::ptr_eq(&pool, &again));
+        assert!(rt.worker_pool_for(&AffinityPolicy::close(), 1000).is_err());
     }
 
     #[test]

@@ -1,18 +1,83 @@
-//! A thread pool whose workers carry a logical CPU binding.
+//! A persistent thread pool whose workers carry a logical CPU binding.
 //!
 //! The STREAM runner needs OpenMP-like semantics: N worker threads, each bound
-//! to a specific logical CPU, executing the same kernel over disjoint chunks and
-//! meeting at a barrier. [`PinnedPool`] provides exactly that. The binding is
-//! *logical* — it is recorded and passed to the worker closure so that the
+//! to a specific logical CPU, executing the same kernel over disjoint chunks
+//! and meeting at a barrier. [`PinnedPool`] provides exactly that. The binding
+//! is *logical* — it is recorded and passed to the worker closure so that the
 //! memory simulator can attribute the worker's traffic to the right core — but
 //! the pool also exercises real OS threads so the kernels genuinely run in
 //! parallel on the host.
+//!
+//! # Lifecycle: resident workers, epoch barrier
+//!
+//! STREAM repeats every kernel `ntimes` with an implicit barrier between
+//! repetitions, so the per-iteration cost is exactly what the bandwidth
+//! numbers are made of. An earlier revision of this pool spawned fresh scoped
+//! threads inside every [`PinnedPool::run`]; at small array sizes the spawn
+//! cost dominated the measurement. The pool is now **persistent**:
+//!
+//! * `N` workers are spawned once in [`PinnedPool::new`] and keep their
+//!   [`WorkerCtx`] (the logical pinning from the affinity layer) for the whole
+//!   pool lifetime;
+//! * idle workers park on an **epoch barrier** (a mutex + condvar pair);
+//!   publishing a job bumps the epoch counter and wakes all of them;
+//! * each invocation hands the workers one **job slot** — a type-erased
+//!   pointer to the caller's closure, valid strictly for that epoch — and the
+//!   submitter blocks until every worker has checked back in;
+//! * a panicking worker is caught, its payload is carried across the barrier,
+//!   and [`resume_unwind`]ed in the submitter; the worker thread itself
+//!   survives, so the pool stays usable after a propagated panic;
+//! * dropping the pool raises the shutdown flag, wakes every worker and joins
+//!   them all.
+//!
+//! # Safety argument
+//!
+//! The job slot stores a raw `*const (dyn Fn(WorkerCtx) + Sync)` whose pointee
+//! lives on the submitting caller's stack, which is the one place `unsafe` is
+//! needed (the crate is otherwise `deny(unsafe_code)`). The erasure is sound
+//! because the pointer's validity window is bracketed by the epoch barrier,
+//! by construction rather than by caller discipline:
+//!
+//! 1. **Publication happens-before execution** — the pointer is written into
+//!    the slot and the epoch bumped under the state mutex; workers read both
+//!    under the same mutex, so a worker only ever dereferences a pointer for
+//!    the epoch it observed.
+//! 2. **The pointee outlives every dereference** — [`PinnedPool::run`] does
+//!    not return (and therefore the closure and the result slots it points
+//!    into cannot be dropped) until `remaining == 0`, i.e. until every worker
+//!    has finished the call and checked in under the mutex. The slot is
+//!    cleared before the submitter returns, so no stale pointer survives an
+//!    epoch.
+//! 3. **One epoch in flight at a time** — a private submitter mutex is held
+//!    for the whole publish→drain window, so two concurrent `run` calls
+//!    serialise instead of racing on the slot.
+//! 4. **Result writes don't alias** — each worker writes only result slot
+//!    `ctx.thread`, worker indices are dense and distinct, and the submitter
+//!    reads the slots only after the barrier (the state mutex orders the
+//!    writes before the reads).
+//!
+//! Re-entrant submission (calling `run` from inside a worker closure) would
+//! deadlock on the barrier and is not supported; the sequential fallback
+//! [`PinnedPool::run_sequential`] never takes the barrier at all.
+//!
+//! The pool and its epoch protocol are exercised under Miri in CI (see the
+//! `miri` workflow job) alongside the raw-pointer partitioning in
+//! `stream-bench`.
+//!
+//! [`resume_unwind`]: std::panic::resume_unwind
+
+#![allow(unsafe_code)]
 
 use crate::affinity::ThreadPlacement;
 use crate::topology::Topology;
-use parking_lot::Mutex;
+use parking_lot::Mutex as PhaseMutex;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 
 /// Context handed to every worker closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,17 +116,115 @@ pub fn chunk_for(thread: usize, nthreads: usize, len: usize) -> (usize, usize) {
     (start, start + base + extra)
 }
 
-/// A pool of logically pinned workers created from a [`ThreadPlacement`].
-#[derive(Debug)]
+/// The type-erased per-epoch job: a pointer to the submitter's closure.
+///
+/// The pointee lives on the stack of the `run` call that published it and is
+/// guaranteed valid until every worker has checked in for the epoch (see the
+/// module-level safety argument).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(WorkerCtx) + Sync));
+
+// SAFETY: the pointer crosses threads only between publication and the epoch
+// barrier, while the submitter keeps the pointee alive; the pointee is `Sync`,
+// so concurrent shared calls through it are sound.
+unsafe impl Send for JobPtr {}
+
+/// Epoch-barrier state shared between the submitter and the resident workers.
+struct EpochState {
+    /// Monotonically increasing epoch counter; a bump publishes a job.
+    epoch: u64,
+    /// The job for the in-flight epoch, if any.
+    job: Option<JobPtr>,
+    /// Workers that have not yet finished the in-flight epoch.
+    remaining: usize,
+    /// Raised by `Drop` to park out every worker.
+    shutdown: bool,
+    /// Panic payloads captured from workers during the in-flight epoch.
+    panics: Vec<(usize, Box<dyn Any + Send>)>,
+}
+
+struct PoolShared {
+    state: Mutex<EpochState>,
+    /// Workers park here waiting for the next epoch (or shutdown).
+    work: Condvar,
+    /// The submitter parks here waiting for the epoch to drain.
+    done: Condvar,
+}
+
+impl PoolShared {
+    /// Locks the epoch state, neutralising poison: panics never unwind while
+    /// the lock is held (worker panics are caught outside it), and a poisoned
+    /// barrier must still be usable so `Drop` can shut the workers down.
+    fn lock(&self) -> MutexGuard<'_, EpochState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+fn worker_loop(ctx: WorkerCtx, shared: Arc<PoolShared>) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.lock();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.epoch != last_epoch {
+                    break;
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            last_epoch = state.epoch;
+            state.job.expect("a published epoch carries a job")
+        };
+        // SAFETY: the submitter that published `job` blocks until this worker
+        // (and every other) checks in below, so the pointee is alive for the
+        // whole call — see the module-level safety argument, point 2.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(ctx) }));
+        let mut state = shared.lock();
+        if let Err(payload) = outcome {
+            state.panics.push((ctx.thread, payload));
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A persistent pool of logically pinned workers created from a
+/// [`ThreadPlacement`].
+///
+/// Workers are spawned once at construction, bound (logically) to their CPUs
+/// once, and then parked on a reusable epoch barrier; [`run`](Self::run)
+/// costs one barrier round-trip instead of N thread spawns. See the module
+/// docs for the lifecycle and the safety argument.
 pub struct PinnedPool {
     workers: Vec<WorkerCtx>,
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serialises submitters: at most one epoch is in flight at a time.
+    submit: Mutex<()>,
+}
+
+impl fmt::Debug for PinnedPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PinnedPool")
+            .field("workers", &self.workers)
+            .field("resident", &self.handles.len())
+            .finish()
+    }
 }
 
 impl PinnedPool {
-    /// Builds a pool from a placement over a topology.
+    /// Builds a pool from a placement over a topology, spawning (and logically
+    /// pinning) one resident worker per placed thread.
     pub fn new(topo: &Topology, placement: &ThreadPlacement) -> Self {
         let n = placement.len();
-        let workers = placement
+        let workers: Vec<WorkerCtx> = placement
             .cpus()
             .iter()
             .enumerate()
@@ -73,7 +236,34 @@ impl PinnedPool {
                 nthreads: n,
             })
             .collect();
-        PinnedPool { workers }
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(EpochState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                panics: Vec::new(),
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = workers
+            .iter()
+            .copied()
+            .map(|ctx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pinned-{}-cpu{}", ctx.thread, ctx.cpu))
+                    .spawn(move || worker_loop(ctx, shared))
+                    .expect("spawn pinned worker")
+            })
+            .collect();
+        PinnedPool {
+            workers,
+            shared,
+            handles,
+            submit: Mutex::new(()),
+        }
     }
 
     /// Number of workers.
@@ -91,45 +281,120 @@ impl PinnedPool {
         &self.workers
     }
 
-    /// Runs `f` once per worker **in parallel** on real OS threads and collects
-    /// the return values in thread order.
+    /// Runs `f` once per worker **in parallel** on the resident worker threads
+    /// and collects the return values in thread order.
+    ///
+    /// No threads are spawned: the call publishes one epoch on the barrier,
+    /// wakes the parked workers and blocks until all of them check back in.
+    /// Concurrent `run` calls from different threads serialise; calling `run`
+    /// from inside a worker closure deadlocks and is not supported.
     ///
     /// `f` must be `Sync` because all workers borrow it concurrently.
+    ///
+    /// # Panics
+    ///
+    /// If a worker closure panics, the first panic payload is re-raised here
+    /// after the epoch drains; the pool remains usable afterwards.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(WorkerCtx) -> R + Sync,
     {
-        if self.workers.is_empty() {
+        let n = self.workers.len();
+        if n == 0 {
             return Vec::new();
         }
-        let mut results: Vec<Option<R>> = (0..self.workers.len()).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.workers.len());
-            for (slot, ctx) in results.iter_mut().zip(self.workers.iter().copied()) {
-                let f = &f;
-                handles.push(scope.spawn(move || {
-                    *slot = Some(f(ctx));
-                }));
+        // One result slot per worker; worker `t` writes only slot `t`, and the
+        // submitter reads the slots only after the barrier (point 4 of the
+        // module-level safety argument).
+        struct Slots<'s, R>(&'s [UnsafeCell<Option<R>>]);
+        // SAFETY: slot writes are disjoint per worker and ordered against the
+        // submitter's reads by the state mutex.
+        unsafe impl<R: Send> Sync for Slots<'_, R> {}
+        impl<R> Slots<'_, R> {
+            /// # Safety
+            /// The caller must be the sole writer of slot `index` this epoch.
+            unsafe fn put(&self, index: usize, value: R) {
+                *self.0[index].get() = Some(value);
             }
-            for handle in handles {
-                handle.join().expect("pinned worker panicked");
-            }
+        }
+        let results: Vec<UnsafeCell<Option<R>>> = (0..n).map(|_| UnsafeCell::new(None)).collect();
+        let slots = Slots(&results);
+        let call = move |ctx: WorkerCtx| {
+            let value = f(ctx);
+            // SAFETY: worker `ctx.thread` is the sole writer of this slot for
+            // the epoch (worker indices are dense and distinct).
+            unsafe { slots.put(ctx.thread, value) };
+        };
+        // SAFETY (lifetime erasure): the transmute only widens the trait
+        // object's lifetime bound to the `'static` default of `JobPtr`'s
+        // field — a plain `as` cast cannot do this (it would instead force
+        // `R: 'static` + `F: 'static` through inference). The pointee is
+        // never outlived: `call` and `results` stay alive on this frame until
+        // the epoch drains below.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn(WorkerCtx) + Sync), *const (dyn Fn(WorkerCtx) + Sync)>(
+                &call,
+            )
         });
+        let first_panic = {
+            let _epoch_exclusive = self.submit.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut state = self.shared.lock();
+            debug_assert_eq!(state.remaining, 0, "previous epoch fully drained");
+            state.job = Some(job);
+            state.remaining = n;
+            state.epoch = state.epoch.wrapping_add(1);
+            self.shared.work.notify_all();
+            while state.remaining > 0 {
+                state = self
+                    .shared
+                    .done
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            state.job = None;
+            let mut panics = std::mem::take(&mut state.panics);
+            drop(state);
+            if panics.is_empty() {
+                None
+            } else {
+                panics.sort_by_key(|(thread, _)| *thread);
+                Some(panics.swap_remove(0))
+            }
+        };
+        if let Some((_thread, payload)) = first_panic {
+            resume_unwind(payload);
+        }
         results
             .into_iter()
-            .map(|r| r.expect("worker produced a result"))
+            .map(|slot| slot.into_inner().expect("worker produced a result"))
             .collect()
     }
 
-    /// Runs `f` once per worker sequentially (deterministic order). Useful for
-    /// tests and for driving the analytical simulator where real parallelism
-    /// adds nothing.
+    /// Runs `f` once per worker sequentially (deterministic order) on the
+    /// calling thread, without touching the barrier. Useful for tests and for
+    /// driving the analytical simulator where real parallelism adds nothing.
     pub fn run_sequential<R, F>(&self, mut f: F) -> Vec<R>
     where
         F: FnMut(WorkerCtx) -> R,
     {
         self.workers.iter().copied().map(&mut f).collect()
+    }
+}
+
+impl Drop for PinnedPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            // A worker that panicked outside a job (impossible today — the
+            // loop catches job panics) would surface here; ignore so Drop
+            // never double-panics.
+            let _ = handle.join();
+        }
     }
 }
 
@@ -140,7 +405,7 @@ impl PinnedPool {
 /// per-phase timings without locking on the hot path (only on phase end).
 #[derive(Debug)]
 pub struct PhaseAccumulator {
-    phases: Mutex<Vec<Vec<f64>>>,
+    phases: PhaseMutex<Vec<Vec<f64>>>,
     completed: AtomicUsize,
 }
 
@@ -148,7 +413,7 @@ impl PhaseAccumulator {
     /// Creates an accumulator for `nthreads` workers.
     pub fn new() -> Arc<Self> {
         Arc::new(PhaseAccumulator {
-            phases: Mutex::new(Vec::new()),
+            phases: PhaseMutex::new(Vec::new()),
             completed: AtomicUsize::new(0),
         })
     }
@@ -227,6 +492,94 @@ mod tests {
         });
         assert_eq!(counter.load(Ordering::SeqCst), 8);
         assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn workers_are_resident_across_invocations() {
+        // The whole point of the persistent pool: `run` must dispatch to the
+        // same OS threads every time instead of spawning fresh ones.
+        let (_, pool) = pool(4);
+        let first = pool.run(|_| std::thread::current().id());
+        for _ in 0..3 {
+            assert_eq!(pool.run(|_| std::thread::current().id()), first);
+        }
+        let submitter = std::thread::current().id();
+        assert!(first.iter().all(|&id| id != submitter));
+        let mut distinct: Vec<String> = first.iter().map(|id| format!("{id:?}")).collect();
+        distinct.sort();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4, "four distinct resident workers");
+    }
+
+    #[test]
+    fn epoch_barrier_reuse_matches_sequential_over_many_rounds() {
+        let (_, pool) = pool(6);
+        for round in 1..=5usize {
+            let par = pool.run(|ctx| (ctx.cpu + 1) * round);
+            let seq = pool.run_sequential(|ctx| (ctx.cpu + 1) * round);
+            assert_eq!(par, seq, "round {round} diverged");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_stays_usable() {
+        let (_, pool) = pool(4);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread == 2 {
+                    panic!("worker {} exploded", ctx.thread);
+                }
+                ctx.thread
+            })
+        }));
+        let payload = outcome.expect_err("panic must propagate to the submitter");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("worker 2 exploded"), "payload: {message}");
+        // The epoch drained and the workers survived: the pool is reusable.
+        assert_eq!(pool.run(|ctx| ctx.thread), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_workers_panicking_still_drains_the_epoch() {
+        let (_, pool) = pool(3);
+        for _ in 0..2 {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|ctx| panic!("thread {}", ctx.thread))
+            }));
+            assert!(outcome.is_err());
+        }
+        assert_eq!(pool.run(|ctx| ctx.thread), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialise_cleanly() {
+        let (_, pool) = pool(4);
+        let pool = &pool;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        assert_eq!(pool.run(|ctx| ctx.thread), vec![0, 1, 2, 3]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn drop_joins_all_workers_without_deadlock() {
+        let (_, pool) = pool(8);
+        pool.run(|_| ());
+        drop(pool); // must return: shutdown wakes and joins every worker
+    }
+
+    #[test]
+    fn drop_without_ever_running_joins_cleanly() {
+        let (_, pool) = pool(5);
+        drop(pool);
     }
 
     #[test]

@@ -34,6 +34,12 @@
 //! produce references that are unique for their lifetime, which is exactly
 //! the soundness requirement. The rest of the crate stays `deny(unsafe_code)`;
 //! only this module may use `unsafe`, and only inside these two abstractions.
+//! The invariants are independent of *which* threads execute the chunks: the
+//! persistent [`PinnedPool`] dispatches each invocation to its resident
+//! workers over an epoch barrier, and the barrier (the submitter does not
+//! return until every worker checked in) is what keeps the `ChunkedArrays`
+//! borrow alive for exactly the window the workers use it. This module and
+//! the pool's epoch protocol are exercised under Miri in CI.
 //!
 //! [`PerWorker`] applies the same claim-flag discipline to reusable
 //! per-worker scratch state (the STREAM-PMem staging buffers), but with
@@ -236,7 +242,9 @@ impl<T> PerWorker<T> {
 /// in thread order.
 ///
 /// This is the zero-copy replacement for the copy-out/copy-back loop: the
-/// closure computes directly on the backing storage of `a`, `b`, `c`.
+/// closure computes directly on the backing storage of `a`, `b`, `c`. The
+/// pool's workers are resident — one invocation costs one epoch-barrier
+/// round-trip, not `nthreads` thread spawns.
 pub fn run_partitioned<R, F>(
     pool: &PinnedPool,
     a: &mut [f64],

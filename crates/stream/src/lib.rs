@@ -28,6 +28,24 @@
 #![deny(unsafe_code)]
 
 pub mod exec;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared knobs for the crate's test suites.
+
+    /// Scales an element count down under Miri (interpretation is ~3 orders
+    /// of magnitude slower); keeps the count odd so the static-schedule
+    /// partitions stay awkward. One definition so the Miri divisor cannot
+    /// drift between suites.
+    pub fn sz(full: usize) -> usize {
+        if cfg!(miri) {
+            (full / 64).max(33) | 1
+        } else {
+            full
+        }
+    }
+}
+
 pub mod kernels;
 pub mod pmem_stream;
 pub mod report;

@@ -13,6 +13,11 @@
 //! kernel invocation then makes every chunk durable — the persist-granularity
 //! batching that keeps the PMDK overhead at the paper's 10–15 % instead of a
 //! per-range fence storm.
+//!
+//! The scratch buffers live **with the stream**, matching the persistent
+//! [`PinnedPool`] worker lifecycle: the resident workers re-claim the same
+//! [`PerWorker`] slots on every `run` (and every epoch within a run) instead
+//! of getting freshly allocated staging buffers per call.
 
 use crate::exec::PerWorker;
 use crate::kernels::{Kernel, StreamArray, StreamConfig};
@@ -21,8 +26,10 @@ use numa::{PinnedPool, WorkerCtx};
 use pmem::{PersistentArray, PmemPool, Result as PmemResult, TypedOid};
 use std::time::Instant;
 
-/// Per-worker staging buffers, reused across every kernel invocation of a
-/// run (the old path allocated three fresh `Vec`s per worker per invocation).
+/// Per-worker staging buffers, reused across every kernel invocation of
+/// every run of the stream (the old path rebuilt the whole set per `run`
+/// call, and before that allocated three fresh `Vec`s per worker per
+/// invocation).
 #[derive(Default)]
 struct Scratch {
     a: Vec<f64>,
@@ -45,6 +52,10 @@ pub struct PmemStream<'p> {
     a: PersistentArray<'p, f64>,
     b: PersistentArray<'p, f64>,
     c: PersistentArray<'p, f64>,
+    /// Staging buffers owned for the stream's lifetime; slot `t` is re-claimed
+    /// by resident worker `t` on every epoch. Re-sized lazily when a run uses
+    /// a pool with a different worker count.
+    scratch: PerWorker<Scratch>,
 }
 
 /// The pool-root record STREAM-PMem stores so a restarted run can reattach to
@@ -78,6 +89,7 @@ impl<'p> PmemStream<'p> {
             a,
             b,
             c,
+            scratch: PerWorker::new(0, |_| Scratch::default()),
         })
     }
 
@@ -89,6 +101,7 @@ impl<'p> PmemStream<'p> {
             a: PersistentArray::from_oid(pool, root.a),
             b: PersistentArray::from_oid(pool, root.b),
             c: PersistentArray::from_oid(pool, root.c),
+            scratch: PerWorker::new(0, |_| Scratch::default()),
         }
     }
 
@@ -159,12 +172,18 @@ impl<'p> PmemStream<'p> {
 
     /// Runs the full STREAM-PMem sequence and returns per-kernel best-of-N
     /// bandwidths.
-    pub fn run(&self, pool: &PinnedPool) -> PmemResult<BandwidthReport> {
+    ///
+    /// The per-worker scratch is owned by the stream and persists across
+    /// calls: a second `run` on the same pool stages through the exact same
+    /// buffers, claimed epoch-by-epoch by the pool's resident workers.
+    pub fn run(&mut self, pool: &PinnedPool) -> PmemResult<BandwidthReport> {
+        if self.scratch.len() != pool.len() {
+            self.scratch = PerWorker::new(pool.len(), |_| Scratch::default());
+        }
         let mut report = BandwidthReport::new(pool.len());
-        let scratch: PerWorker<Scratch> = PerWorker::new(pool.len(), |_| Scratch::default());
         for _ in 0..self.config.ntimes {
             for kernel in Kernel::ALL {
-                let seconds = self.run_kernel_once(kernel, pool, &scratch)?;
+                let seconds = self.run_kernel_once(kernel, pool, &self.scratch)?;
                 report.record(KernelMeasurement {
                     kernel,
                     threads: pool.len(),
@@ -174,6 +193,12 @@ impl<'p> PmemStream<'p> {
             }
         }
         Ok(report)
+    }
+
+    /// Number of per-worker scratch slots currently provisioned (0 before the
+    /// first run; thereafter the worker count of the last pool used).
+    pub fn scratch_slots(&self) -> usize {
+        self.scratch.len()
     }
 
     /// Validates the persistent arrays against the analytic expected values;
@@ -208,6 +233,7 @@ impl<'p> PmemStream<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::sz;
     use numa::topology::sapphire_rapids_cxl;
     use numa::AffinityPolicy;
     use pmem::PmemPool;
@@ -225,8 +251,8 @@ mod tests {
     #[test]
     fn initiate_run_validate() {
         let pool = pmem_pool(8 * 1024 * 1024);
-        let config = StreamConfig::small(20_000);
-        let stream = PmemStream::initiate(&pool, config).unwrap();
+        let config = StreamConfig::small(sz(20_000));
+        let mut stream = PmemStream::initiate(&pool, config).unwrap();
         let report = stream.run(&worker_pool(4)).unwrap();
         assert!(stream.validate().unwrap() < 1e-12);
         assert_eq!(report.measurements().len(), 4 * config.ntimes);
@@ -240,9 +266,9 @@ mod tests {
         // invocation must issue at most one flush per worker (only workers
         // with non-empty chunks flush) and exactly one drain fence.
         let pool = pmem_pool(8 * 1024 * 1024);
-        let config = StreamConfig::small(10_007);
+        let config = StreamConfig::small(sz(10_007));
         let threads = 6;
-        let stream = PmemStream::initiate(&pool, config).unwrap();
+        let mut stream = PmemStream::initiate(&pool, config).unwrap();
         let before = pool.persist_stats();
         stream.run(&worker_pool(threads)).unwrap();
         let after = pool.persist_stats();
@@ -270,7 +296,7 @@ mod tests {
     fn more_workers_than_elements_flushes_only_nonempty_chunks() {
         let pool = pmem_pool(4 * 1024 * 1024);
         let config = StreamConfig::small(3);
-        let stream = PmemStream::initiate(&pool, config).unwrap();
+        let mut stream = PmemStream::initiate(&pool, config).unwrap();
         let before = pool.persist_stats();
         stream.run(&worker_pool(8)).unwrap();
         let after = pool.persist_stats();
@@ -281,11 +307,35 @@ mod tests {
     }
 
     #[test]
+    fn scratch_is_resident_across_runs_and_tracks_pool_size() {
+        let pool = pmem_pool(8 * 1024 * 1024);
+        let config = StreamConfig::small(sz(4_096));
+        let mut stream = PmemStream::initiate(&pool, config).unwrap();
+        assert_eq!(stream.scratch_slots(), 0, "no scratch before the first run");
+        stream.run(&worker_pool(4)).unwrap();
+        assert_eq!(stream.scratch_slots(), 4);
+        // A second run on the same worker count keeps the same slots (the
+        // resident workers re-claim them); a different count re-provisions.
+        stream.run(&worker_pool(4)).unwrap();
+        assert_eq!(stream.scratch_slots(), 4);
+        stream.run(&worker_pool(2)).unwrap();
+        assert_eq!(stream.scratch_slots(), 2);
+        // Three back-to-back runs advance the arrays by 3 × ntimes iterations;
+        // validate through a view whose config expects exactly that.
+        let accumulated = StreamConfig {
+            ntimes: config.ntimes * 3,
+            ..config
+        };
+        let view = PmemStream::reattach(&pool, accumulated, stream.root());
+        assert!(view.validate().unwrap() < 1e-12);
+    }
+
+    #[test]
     fn arrays_survive_reattach() {
         let pool = pmem_pool(8 * 1024 * 1024);
-        let config = StreamConfig::small(5_000);
+        let config = StreamConfig::small(sz(5_000));
         let root = {
-            let stream = PmemStream::initiate(&pool, config).unwrap();
+            let mut stream = PmemStream::initiate(&pool, config).unwrap();
             stream.run(&worker_pool(2)).unwrap();
             stream.root()
         };
@@ -303,18 +353,18 @@ mod tests {
     #[test]
     fn single_thread_matches_expected_values_exactly() {
         let pool = pmem_pool(4 * 1024 * 1024);
-        let config = StreamConfig::small(1_000);
-        let stream = PmemStream::initiate(&pool, config).unwrap();
+        let config = StreamConfig::small(sz(1_000));
+        let mut stream = PmemStream::initiate(&pool, config).unwrap();
         stream.run(&worker_pool(1)).unwrap();
         assert!(stream.validate().unwrap() < 1e-12);
     }
 
     #[test]
     fn awkward_partition_sizes_validate() {
-        for (elements, threads) in [(9973usize, 7), (11, 8), (1, 2)] {
+        for (elements, threads) in [(sz(9973), 7), (11, 8), (1, 2)] {
             let pool = pmem_pool(8 * 1024 * 1024);
             let config = StreamConfig::small(elements);
-            let stream = PmemStream::initiate(&pool, config).unwrap();
+            let mut stream = PmemStream::initiate(&pool, config).unwrap();
             stream.run(&worker_pool(threads)).unwrap();
             assert!(
                 stream.validate().unwrap() < 1e-12,

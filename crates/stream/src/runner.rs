@@ -14,7 +14,7 @@
 use crate::kernels::{Kernel, StreamConfig};
 use cxl_pmem::{AccessMode, CxlPmemRuntime, Result as RuntimeResult};
 use memsim::PhaseReport;
-use numa::{NodeId, ThreadPlacement};
+use numa::{NodeId, PinnedPool, ThreadPlacement};
 use std::sync::Arc;
 
 /// One point of a figure: a kernel, a thread count, a placement and the
@@ -60,6 +60,14 @@ impl<'rt> SimulatedStream<'rt> {
     /// The configuration in use.
     pub fn config(&self) -> StreamConfig {
         self.config
+    }
+
+    /// The resident worker pool for `placement`, provisioned and owned by the
+    /// underlying runtime. Pairing a functional (really-executing) STREAM run
+    /// with the simulated sweep goes through the same parked workers every
+    /// time — no per-run thread spawning anywhere in the harness.
+    pub fn workers(&self, placement: &ThreadPlacement) -> Arc<PinnedPool> {
+        self.runtime.worker_pool(placement)
     }
 
     /// Per-thread `(read, write)` byte counts for one invocation of `kernel`.
@@ -215,6 +223,30 @@ mod tests {
                 "cached point diverged from direct simulation"
             );
         }
+    }
+
+    #[test]
+    fn functional_run_uses_the_runtime_resident_pool() {
+        // The runner hands out the runtime-owned persistent pool, so the
+        // functional-correctness leg and the simulated-performance leg share
+        // one set of parked workers.
+        let runtime = CxlPmemRuntime::setup1();
+        let stream = SimulatedStream::new(&runtime, StreamConfig::small(5_000));
+        let placement = AffinityPolicy::SingleSocket(0)
+            .place(runtime.topology(), 4)
+            .unwrap();
+        let workers = stream.workers(&placement);
+        assert!(std::sync::Arc::ptr_eq(
+            &workers,
+            &stream.workers(&placement)
+        ));
+        let mut functional = crate::VolatileStream::new(StreamConfig::small(5_000));
+        functional.run(&workers);
+        assert!(functional.validate() < 1e-12);
+        let point = stream
+            .simulate(Kernel::Triad, &placement, 0, AccessMode::AppDirect)
+            .unwrap();
+        assert!(point.bandwidth_gbs > 0.0);
     }
 
     #[test]

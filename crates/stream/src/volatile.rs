@@ -55,7 +55,10 @@ impl VolatileStream {
 
     /// Runs the full STREAM sequence (`ntimes` repetitions of
     /// Copy→Scale→Add→Triad) on the worker pool and returns the per-kernel
-    /// best-of-N bandwidths, exactly like the reference benchmark.
+    /// best-of-N bandwidths, exactly like the reference benchmark. Every
+    /// repetition re-enters the pool's resident workers over the epoch
+    /// barrier, so the per-iteration cost carries no thread-spawn overhead —
+    /// the steady-state property the paper's bandwidth numbers assume.
     pub fn run(&mut self, pool: &PinnedPool) -> BandwidthReport {
         let mut report = BandwidthReport::new(pool.len());
         for _ in 0..self.config.ntimes {
@@ -108,6 +111,7 @@ impl VolatileStream {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::sz;
     use numa::topology::sapphire_rapids_cxl;
     use numa::AffinityPolicy;
 
@@ -119,7 +123,7 @@ mod tests {
 
     #[test]
     fn single_threaded_run_validates() {
-        let mut stream = VolatileStream::new(StreamConfig::small(10_000));
+        let mut stream = VolatileStream::new(StreamConfig::small(sz(10_000)));
         let report = stream.run(&pool(1));
         assert!(stream.validate() < 1e-12);
         assert_eq!(report.measurements().len(), 4 * 3);
@@ -130,7 +134,7 @@ mod tests {
 
     #[test]
     fn multi_threaded_run_produces_identical_results() {
-        let config = StreamConfig::small(50_000);
+        let config = StreamConfig::small(sz(50_000));
         let mut serial = VolatileStream::new(config);
         serial.run(&pool(1));
         let mut parallel = VolatileStream::new(config);
@@ -143,7 +147,7 @@ mod tests {
     fn serial_and_parallel_runs_agree_bitwise() {
         // The partitioned in-place path must be numerically *identical* to a
         // serial run — same element-wise operations, no reassociation.
-        let config = StreamConfig::small(12_345);
+        let config = StreamConfig::small(sz(12_345));
         let mut serial = VolatileStream::new(config);
         serial.run(&pool(1));
         for threads in [2, 3, 7, 8] {
@@ -164,9 +168,10 @@ mod tests {
 
     #[test]
     fn validation_detects_corruption() {
-        let mut stream = VolatileStream::new(StreamConfig::small(1000));
+        let elements = sz(1000);
+        let mut stream = VolatileStream::new(StreamConfig::small(elements));
         stream.run(&pool(2));
-        stream.corrupt_c(500, -1.0e9);
+        stream.corrupt_c(elements / 2, -1.0e9);
         assert!(stream.validate() > 1e-3);
     }
 
@@ -174,7 +179,7 @@ mod tests {
     fn awkward_sizes_are_handled() {
         // Element counts that do not divide evenly by the thread count,
         // prime counts, and fewer elements than workers.
-        for (elements, threads) in [(10_007, 7), (9973, 8), (3, 8), (1, 4), (17, 16)] {
+        for (elements, threads) in [(sz(10_007), 7), (sz(9973), 8), (3, 8), (1, 4), (17, 16)] {
             let mut stream = VolatileStream::new(StreamConfig::small(elements));
             stream.run(&pool(threads));
             assert!(

@@ -30,7 +30,17 @@ impl Default for ProptestConfig {
     fn default() -> Self {
         // The real proptest defaults to 256; 64 keeps the heavier array/engine
         // properties fast while still covering the awkward boundary cases.
-        ProptestConfig { cases: 64 }
+        // Like the real crate, `PROPTEST_CASES` overrides the default (the
+        // Miri CI job uses it to keep interpreted property runs tractable)
+        // and an invalid value is an error, not a silent fallback.
+        let cases = match std::env::var("PROPTEST_CASES") {
+            Ok(value) => match value.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => panic!("PROPTEST_CASES must be a positive integer, got {value:?}"),
+            },
+            Err(_) => 64,
+        };
+        ProptestConfig { cases }
     }
 }
 

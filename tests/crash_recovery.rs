@@ -84,7 +84,7 @@ fn stream_pmem_on_the_expander_validates_and_survives_reattach() {
 
     let root = {
         let pool = pool_on(&device);
-        let stream = PmemStream::initiate(&pool, config).unwrap();
+        let mut stream = PmemStream::initiate(&pool, config).unwrap();
         stream.run(&workers).unwrap();
         assert!(stream.validate().unwrap() < 1e-12);
         stream.root()

@@ -3,7 +3,7 @@
 
 use streamer_repro::cxl_pmem::{AccessMode, CxlPmemRuntime, TierPolicy};
 use streamer_repro::numa::AffinityPolicy;
-use streamer_repro::stream::{Kernel, SimulatedStream, StreamConfig};
+use streamer_repro::stream::{Kernel, PmemStream, SimulatedStream, StreamConfig, VolatileStream};
 use streamer_repro::streamer::figures::FigureData;
 use streamer_repro::streamer::groups::TestGroup;
 use streamer_repro::streamer::{analysis::Analysis, headline_table, table1, table2};
@@ -113,4 +113,35 @@ fn spread_and_close_affinity_differ_at_partial_occupancy() {
         (close_bw - spread_bw).abs() / close_bw > 0.02,
         "close {close_bw} vs spread {spread_bw} should differ at partial occupancy"
     );
+}
+
+#[test]
+fn one_runtime_pool_serves_volatile_and_pmem_streams_end_to_end() {
+    // The full persistent-pool lifecycle across the workspace: the runtime
+    // provisions ONE resident worker pool, and both the volatile and the
+    // App-Direct (expander-backed) functional STREAM runs execute on those
+    // same parked workers, across multiple run() calls, with correct results.
+    let runtime = CxlPmemRuntime::setup1();
+    let workers = runtime
+        .worker_pool_for(&AffinityPolicy::SingleSocket(0), 6)
+        .unwrap();
+    let config = StreamConfig::small(10_007);
+
+    let mut volatile = VolatileStream::new(config);
+    volatile.run(&workers);
+    assert!(volatile.validate() < 1e-12);
+
+    let pmem_pool = runtime
+        .provision_pool(&TierPolicy::CxlExpander, "e2e-pool", 16 * 1024 * 1024)
+        .unwrap();
+    let mut pmem = PmemStream::initiate(pmem_pool.pool(), config).unwrap();
+    pmem.run(&workers).unwrap();
+    assert!(pmem.validate().unwrap() < 1e-12);
+
+    // Still exactly one resident pool: nothing above respawned workers.
+    assert_eq!(runtime.worker_pool_count(), 1);
+    let again = runtime
+        .worker_pool_for(&AffinityPolicy::SingleSocket(0), 6)
+        .unwrap();
+    assert!(std::sync::Arc::ptr_eq(&workers, &again));
 }
