@@ -42,7 +42,7 @@ pub mod runtime;
 pub use backend::CxlDeviceBackend;
 pub use modes::{AccessMode, ModeProperties};
 pub use placement::{ExpansionPlan, TierPolicy};
-pub use runtime::{CxlPmemRuntime, ManagedPool, RuntimeError, SetupKind};
+pub use runtime::{CxlPmemRuntime, ManagedPool, PooledChunkExecutor, RuntimeError, SetupKind};
 
 /// Result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -7,7 +7,7 @@ use cxl::FpgaPrototype;
 use memsim::access::{ThreadTraffic, TrafficPhase};
 use memsim::{Engine, Machine, PhaseReport, SimError};
 use numa::{AffinityPolicy, NodeId, NumaError, PinnedPool, ThreadPlacement, Topology};
-use pmem::{PmemError, PmemPool, VolatileBackend};
+use pmem::{CheckpointRegion, ChunkExecutor, PmemError, PmemPool, VolatileBackend};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -32,6 +32,14 @@ pub enum RuntimeError {
         /// Node capacity.
         capacity: u64,
     },
+    /// The tier has no persistent backing that survives a pool drop, so there
+    /// is nothing to restore from (DRAM tiers get a *fresh* battery-backed
+    /// buffer per provision; only the CXL expander's device memory is shared
+    /// across reattachments).
+    VolatileTier {
+        /// The node the tier resolved to.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -48,6 +56,10 @@ impl fmt::Display for RuntimeError {
             } => write!(
                 f,
                 "pool of {requested} bytes does not fit on node {node} ({capacity} bytes)"
+            ),
+            RuntimeError::VolatileTier { node } => write!(
+                f,
+                "tier on node {node} has no persistent backing to restore from"
             ),
         }
     }
@@ -122,6 +134,40 @@ impl std::ops::Deref for ManagedPool {
     type Target = PmemPool;
     fn deref(&self) -> &PmemPool {
         &self.pool
+    }
+}
+
+/// Adapter fanning checkpoint chunk flushes across a resident [`PinnedPool`].
+///
+/// Each worker takes a contiguous share of the dirty-chunk jobs (the same
+/// static schedule as the STREAM kernels) and issues its writes + flushes as
+/// one batch; the [`CheckpointRegion`] then drains once for the whole
+/// invocation — so a checkpoint costs at most `dirty_chunks` flushes + 1
+/// drain, exactly the `PersistStats` discipline of the STREAM-PMem hot path.
+///
+/// Crash injection into the chunk-flush phase is only deterministic under
+/// [`pmem::SerialExecutor`]; this adapter is the production path.
+pub struct PooledChunkExecutor<'a>(pub &'a PinnedPool);
+
+impl ChunkExecutor for PooledChunkExecutor<'_> {
+    fn run_chunks(
+        &self,
+        jobs: usize,
+        job: &(dyn Fn(usize) -> pmem::Result<()> + Sync),
+    ) -> pmem::Result<()> {
+        if jobs == 0 {
+            return Ok(());
+        }
+        if self.0.is_empty() {
+            return (0..jobs).try_for_each(job);
+        }
+        self.0
+            .run(|ctx| {
+                let (start, end) = ctx.chunk(jobs);
+                (start..end).try_for_each(job)
+            })
+            .into_iter()
+            .collect()
     }
 }
 
@@ -295,27 +341,79 @@ impl CxlPmemRuntime {
                 capacity,
             });
         }
-        let is_expander = self
-            .topology()
-            .node(node)
-            .map(|n| n.is_cpuless())
-            .unwrap_or(false);
-        let pool = if is_expander {
-            match &self.fpga {
-                Some(fpga) => {
-                    let backend = CxlDeviceBackend::new(fpga.endpoint(), 0, size)?;
-                    PmemPool::create_with_backend(Arc::new(backend), layout)?
-                }
-                None => return Err(RuntimeError::NoCxlDevice),
-            }
+        let pool = if self.is_expander_node(node) {
+            let backend = self.expander_backend(Some(size))?;
+            PmemPool::create_with_backend(Arc::new(backend), layout)?
         } else {
             PmemPool::create_with_backend(Arc::new(VolatileBackend::new_persistent(size)), layout)?
         };
-        Ok(ManagedPool {
+        Ok(Self::managed(pool, node))
+    }
+
+    /// Whether `node` is a CPU-less (memory-only) node, i.e. the expander.
+    fn is_expander_node(&self, node: NodeId) -> bool {
+        self.topology()
+            .node(node)
+            .map(|n| n.is_cpuless())
+            .unwrap_or(false)
+    }
+
+    /// A backend over the expander's device memory — the one window (DPA 0)
+    /// both pool provisioning and crash-restart reattachment must agree on.
+    /// `len` defaults to the whole device.
+    fn expander_backend(&self, len: Option<u64>) -> crate::Result<CxlDeviceBackend> {
+        let fpga = self.fpga.as_ref().ok_or(RuntimeError::NoCxlDevice)?;
+        let device = fpga.endpoint();
+        let len = len.unwrap_or_else(|| device.capacity_bytes());
+        CxlDeviceBackend::new(device, 0, len).map_err(Into::into)
+    }
+
+    /// Wraps a pool with its node and paper-style mount label.
+    fn managed(pool: PmemPool, node: NodeId) -> ManagedPool {
+        ManagedPool {
             pool,
             node,
             mount: format!("/mnt/pmem{node}"),
-        })
+        }
+    }
+
+    // -------------------------------------------------------------- checkpoint
+
+    /// Provisions a pool on `tier` sized for one [`CheckpointRegion`] of
+    /// `data_len`-byte snapshots persisted at `chunk_len` granularity, formats
+    /// the region and registers it as the pool root. Reopen the region with
+    /// [`CheckpointRegion::open_root`]; after a crash, reattach with
+    /// [`restore_region`](Self::restore_region).
+    pub fn checkpoint_region(
+        &self,
+        tier: &TierPolicy,
+        layout: &str,
+        data_len: u64,
+        chunk_len: u64,
+    ) -> crate::Result<ManagedPool> {
+        let size = CheckpointRegion::required_pool_size(data_len, chunk_len);
+        let managed = self.provision_pool(tier, layout, size)?;
+        let region = CheckpointRegion::format(managed.pool(), data_len, chunk_len)?;
+        managed.pool().set_root(region.oid(), data_len)?;
+        Ok(managed)
+    }
+
+    /// Reattaches to a checkpoint pool created earlier by
+    /// [`checkpoint_region`](Self::checkpoint_region) on a tier whose bytes
+    /// survive the pool handle (the CXL expander's device memory). Opening
+    /// runs undo-log recovery, so a commit record torn by the crash is rolled
+    /// back before [`CheckpointRegion::open_root`] picks the committed slot.
+    ///
+    /// DRAM tiers are backed by a fresh buffer per provision and return
+    /// [`RuntimeError::VolatileTier`].
+    pub fn restore_region(&self, tier: &TierPolicy, layout: &str) -> crate::Result<ManagedPool> {
+        let node = tier.resolve(self.machine())?;
+        if !self.is_expander_node(node) {
+            return Err(RuntimeError::VolatileTier { node });
+        }
+        let backend = self.expander_backend(None)?;
+        let pool = PmemPool::open_with_backend(Arc::new(backend), layout)?;
+        Ok(Self::managed(pool, node))
     }
 
     // -------------------------------------------------------------- accounting
@@ -619,6 +717,67 @@ mod tests {
         let again = rt.worker_pool_for(&AffinityPolicy::close(), 6).unwrap();
         assert!(Arc::ptr_eq(&pool, &again));
         assert!(rt.worker_pool_for(&AffinityPolicy::close(), 1000).is_err());
+    }
+
+    #[test]
+    fn checkpoint_region_parallel_persist_and_runtime_restore() {
+        use pmem::{CheckpointCrash, CheckpointPhase, CheckpointRegion, CrashPoint};
+
+        let rt = CxlPmemRuntime::setup1();
+        let data_len = 64 * 1024u64;
+        let chunk_len = 4096u64;
+        let managed = rt
+            .checkpoint_region(&TierPolicy::CxlExpander, "ckpt-rt", data_len, chunk_len)
+            .unwrap();
+        assert_eq!(managed.node(), 2, "checkpoint pool lives on the expander");
+        let workers = rt.worker_pool_for(&AffinityPolicy::close(), 4).unwrap();
+        let exec = PooledChunkExecutor(&workers);
+
+        let mut region = CheckpointRegion::open_root(managed.pool()).unwrap();
+        let image: Vec<u8> = (0..data_len).map(|i| (i % 251) as u8).collect();
+        let stats = region.checkpoint_with(&image, &exec).unwrap();
+        assert_eq!(stats.chunks_written, 16, "cold slot: every chunk flushes");
+        region.checkpoint_with(&image, &exec).unwrap();
+        let stats = region.checkpoint_with(&image, &exec).unwrap();
+        assert_eq!(stats.chunks_written, 0, "warm slot: incremental no-op");
+
+        // Crash the commit record, drop every handle, and reattach through
+        // the runtime: the torn commit rolls back to epoch 3.
+        region.set_crash(Some(CheckpointCrash {
+            phase: CheckpointPhase::Commit,
+            point: CrashPoint::BeforeCommit,
+        }));
+        let mut changed = image.clone();
+        changed[0] ^= 1;
+        assert!(region
+            .checkpoint_with(&changed, &exec)
+            .unwrap_err()
+            .is_injected_crash());
+        drop(region);
+        drop(managed);
+
+        let reattached = rt
+            .restore_region(&TierPolicy::CxlExpander, "ckpt-rt")
+            .unwrap();
+        assert_eq!(reattached.mount(), "/mnt/pmem2");
+        let region = CheckpointRegion::open_root(reattached.pool()).unwrap();
+        assert_eq!(region.committed_epoch(), 3);
+        let mut out = vec![0u8; data_len as usize];
+        region.restore(&mut out).unwrap();
+        assert_eq!(out, image);
+    }
+
+    #[test]
+    fn restore_region_rejects_volatile_tiers_and_missing_expanders() {
+        let rt = CxlPmemRuntime::setup1();
+        assert!(matches!(
+            rt.restore_region(&TierPolicy::LocalDram { socket: 0 }, "x")
+                .unwrap_err(),
+            RuntimeError::VolatileTier { node: 0 }
+        ));
+        // Setup #2 has no expander at all.
+        let rt2 = CxlPmemRuntime::setup2();
+        assert!(rt2.restore_region(&TierPolicy::CxlExpander, "x").is_err());
     }
 
     #[test]

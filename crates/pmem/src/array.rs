@@ -150,6 +150,13 @@ impl<'p, T: PmemScalar> PersistentArray<'p, T> {
         Ok(())
     }
 
+    /// Reads the whole array into a freshly allocated vector.
+    pub fn to_vec(&self) -> Result<Vec<T>> {
+        let mut out = vec![T::default(); self.len() as usize];
+        self.load_slice(0, &mut out)?;
+        Ok(out)
+    }
+
     /// Writes `values` starting at element `start`.
     pub fn store_slice(&self, start: u64, values: &[T]) -> Result<()> {
         if values.is_empty() {
@@ -258,6 +265,9 @@ mod tests {
         let mut back = vec![0u64; 100];
         array.load_slice(50, &mut back).unwrap();
         assert_eq!(back, values);
+        let all = array.to_vec().unwrap();
+        assert_eq!(all.len(), 256);
+        assert_eq!(&all[50..150], &values[..]);
         // Out-of-range slices are rejected.
         assert!(array.store_slice(200, &values).is_err());
         let mut too_big = vec![0u64; 300];

@@ -55,6 +55,9 @@ pub enum PmemError {
     Io(std::io::Error),
     /// The requested element count would overflow the addressable range.
     SizeOverflow,
+    /// A checkpoint region operation failed (bad descriptor, no committed
+    /// epoch, snapshot length mismatch, ...).
+    Checkpoint(&'static str),
 }
 
 impl fmt::Display for PmemError {
@@ -92,6 +95,7 @@ impl fmt::Display for PmemError {
             PmemError::InjectedCrash(point) => write!(f, "injected crash at {point}"),
             PmemError::Io(e) => write!(f, "I/O error: {e}"),
             PmemError::SizeOverflow => write!(f, "requested size overflows the pool address space"),
+            PmemError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -18,6 +18,10 @@
 //!   `add_range`, `commit`, `abort`, and recovery on pool open.
 //! * [`array::PersistentArray`] — typed persistent arrays (the STREAM-PMem
 //!   `a`, `b`, `c` vectors).
+//! * [`checkpoint`] — versioned checkpoint/restart: double-buffered,
+//!   epoch-versioned snapshot slots with incremental dirty-chunk persists and
+//!   a transactional commit record; validated by an exhaustive crash matrix
+//!   (`tests/crash_matrix.rs`).
 //! * [`persist`] — flush/drain primitives with instrumentation counters, the
 //!   stand-ins for `CLWB`/`SFENCE` (or the `pmem_persist` libpmem call).
 //! * [`backend`] — where the bytes actually live: a volatile buffer, a file
@@ -34,6 +38,7 @@
 pub mod alloc;
 pub mod array;
 pub mod backend;
+pub mod checkpoint;
 pub mod error;
 pub mod oid;
 pub mod persist;
@@ -41,8 +46,12 @@ pub mod pool;
 pub mod tx;
 
 pub use alloc::AllocStats;
-pub use array::PersistentArray;
+pub use array::{PersistentArray, PmemScalar};
 pub use backend::{FileBackend, PoolBackend, SharedBackend, VolatileBackend};
+pub use checkpoint::{
+    CheckpointCrash, CheckpointPhase, CheckpointRegion, CheckpointStats, Checkpointable,
+    ChunkExecutor, SerialExecutor,
+};
 pub use error::PmemError;
 pub use oid::{PmemOid, TypedOid};
 pub use persist::PersistStats;

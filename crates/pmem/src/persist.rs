@@ -17,6 +17,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const FLUSH_GRANULE: u64 = 64;
 
 /// Counters describing persist activity.
+///
+/// Snapshots subtract (`after - before` via [`std::ops::Sub`]) so tests can
+/// assert on the flush cost of a single operation — the checkpoint suite uses
+/// this to prove an unchanged incremental checkpoint flushes zero chunks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PersistStats {
     /// Number of `flush` calls.
@@ -27,6 +31,21 @@ pub struct PersistStats {
     pub drains: u64,
     /// Total bytes made durable.
     pub bytes_persisted: u64,
+}
+
+impl std::ops::Sub for PersistStats {
+    type Output = PersistStats;
+
+    /// Counter-wise difference (saturating, so an out-of-order subtraction
+    /// yields zeros instead of wrapping).
+    fn sub(self, earlier: PersistStats) -> PersistStats {
+        PersistStats {
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            lines_flushed: self.lines_flushed.saturating_sub(earlier.lines_flushed),
+            drains: self.drains.saturating_sub(earlier.drains),
+            bytes_persisted: self.bytes_persisted.saturating_sub(earlier.bytes_persisted),
+        }
+    }
 }
 
 /// Tracks flush/drain activity for one pool.
@@ -156,6 +175,23 @@ mod tests {
         let backend = backend();
         assert!(tracker.persist(&backend, (1 << 20) - 10, 100).is_err());
         assert_eq!(tracker.stats().flushes, 0);
+    }
+
+    #[test]
+    fn stats_subtract_counterwise() {
+        let tracker = PersistTracker::new();
+        let backend = backend();
+        tracker.persist(&backend, 0, 4096).unwrap();
+        let before = tracker.stats();
+        tracker.flush(&backend, 0, 128).unwrap();
+        tracker.drain();
+        let delta = tracker.stats() - before;
+        assert_eq!(delta.flushes, 1);
+        assert_eq!(delta.lines_flushed, 2);
+        assert_eq!(delta.drains, 1);
+        assert_eq!(delta.bytes_persisted, 128);
+        // Saturating: subtracting a later snapshot from an earlier one is zero.
+        assert_eq!(before - tracker.stats(), PersistStats::default());
     }
 
     #[test]

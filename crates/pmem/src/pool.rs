@@ -136,8 +136,9 @@ impl Header {
     }
 }
 
-/// FNV-1a hash used for the header checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a hash used for the header checksum (and by the checkpoint module for
+/// slot-header checksums and chunk content hashes).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -458,8 +459,28 @@ impl PmemPool {
     /// Runs transaction recovery explicitly (normally done by
     /// [`open_with_backend`](Self::open_with_backend)). Returns `true` if an
     /// interrupted transaction was rolled back.
+    ///
+    /// An armed [`CrashPoint::DuringRecovery`] (see
+    /// [`set_crash_point`](Self::set_crash_point)) is consumed here and makes
+    /// the pass die mid-replay with the log still active — the crash matrix
+    /// uses this to prove recovery is idempotent. Crash points targeting
+    /// transaction sites stay armed for the next transaction.
     pub fn recover(&self) -> Result<bool> {
-        self.log.recover()
+        let crash = {
+            let mut armed = self.crash_point.lock();
+            if *armed == Some(CrashPoint::DuringRecovery) {
+                armed.take()
+            } else {
+                None
+            }
+        };
+        self.log.recover_with(crash)
+    }
+
+    /// Whether an interrupted transaction's undo log is still active (i.e.
+    /// recovery has work to do). After a successful recovery this is `false`.
+    pub fn tx_log_active(&self) -> Result<bool> {
+        self.log.is_active()
     }
 }
 

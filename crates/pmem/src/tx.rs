@@ -20,7 +20,8 @@ use crate::persist::PersistTracker;
 use crate::Result;
 use std::sync::Arc;
 
-/// Where an injected crash fires during a transaction.
+/// Where an injected crash fires during a transaction (or during the recovery
+/// that follows one).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashPoint {
     /// After the undo-log entries are durable but before any data is modified.
@@ -29,6 +30,21 @@ pub enum CrashPoint {
     BeforeCommit,
     /// After the commit completed (the transaction's effects must survive).
     AfterCommit,
+    /// Mid-way through [`TxLog`] recovery: after the first undo entry has been
+    /// replayed but before the log header is cleared. Recovery must be
+    /// idempotent, so a second recovery pass finishes the job.
+    DuringRecovery,
+}
+
+impl CrashPoint {
+    /// Every crash point, in a fixed order — the crash matrix iterates this so
+    /// adding a variant automatically grows the matrix.
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::AfterLogAppend,
+        CrashPoint::BeforeCommit,
+        CrashPoint::AfterCommit,
+        CrashPoint::DuringRecovery,
+    ];
 }
 
 const LOG_ACTIVE: u64 = 1;
@@ -108,9 +124,23 @@ impl TxLog {
     /// Replays the log in reverse, restoring pre-transaction contents, then
     /// clears it. Returns `true` if anything was rolled back.
     pub fn recover(&self) -> Result<bool> {
+        self.recover_with(None)
+    }
+
+    /// [`recover`](Self::recover) with crash injection: if `crash` is
+    /// [`CrashPoint::DuringRecovery`], the pass dies after replaying the first
+    /// undo entry (or, for an entry-less active log, before the header is
+    /// cleared), leaving the log active. Undo entries hold absolute old
+    /// contents, so a subsequent full pass replays them again and converges —
+    /// the idempotency the crash matrix relies on.
+    pub fn recover_with(&self, crash: Option<CrashPoint>) -> Result<bool> {
+        let injected = crash == Some(CrashPoint::DuringRecovery);
         let (active, count) = self.header()?;
         if active != LOG_ACTIVE || count == 0 {
             if active == LOG_ACTIVE {
+                if injected {
+                    return Err(PmemError::InjectedCrash("during-recovery"));
+                }
                 self.write_header(LOG_IDLE, 0)?;
             }
             return Ok(false);
@@ -124,11 +154,16 @@ impl TxLog {
             entries.push((cursor + ENTRY_HEADER, offset, len));
             cursor += ENTRY_HEADER + len;
         }
-        for &(data_at, offset, len) in entries.iter().rev() {
+        for (replayed, &(data_at, offset, len)) in entries.iter().rev().enumerate() {
             let mut old = vec![0u8; len as usize];
             self.backend.read_at(data_at, &mut old)?;
             self.backend.write_at(offset, &old)?;
             self.tracker.persist(&self.backend, offset, len)?;
+            if injected && replayed == 0 {
+                // The header still says ACTIVE with the full entry count, so
+                // the next recovery starts over from entry 0.
+                return Err(PmemError::InjectedCrash("during-recovery"));
+            }
         }
         self.write_header(LOG_IDLE, 0)?;
         Ok(true)
@@ -181,6 +216,8 @@ impl<'a> Transaction<'a> {
                 CrashPoint::AfterLogAppend => "after-log-append",
                 CrashPoint::BeforeCommit => "before-commit",
                 CrashPoint::AfterCommit => "after-commit",
+                // Never armed at a transaction site; recovery checks it.
+                CrashPoint::DuringRecovery => "during-recovery",
             }));
         }
         Ok(())
@@ -377,6 +414,61 @@ mod tests {
         assert!(!reopened.recover().unwrap());
         assert!(!reopened.recover().unwrap());
         assert_eq!(&read8(&reopened, a.offset), b"original");
+    }
+
+    #[test]
+    fn crash_during_recovery_then_reopen_converges() {
+        let (backend, pool) = pool_pair();
+        let a = pool.alloc_bytes(64).unwrap();
+        let b = pool.alloc_bytes(64).unwrap();
+        pool.write(a.offset, b"original").unwrap();
+        pool.write(b.offset, b"untouchd").unwrap();
+        pool.persist(a.offset, 8).unwrap();
+        pool.persist(b.offset, 8).unwrap();
+
+        // Strand an active log with two undo entries.
+        pool.set_crash_point(Some(CrashPoint::BeforeCommit));
+        let _ = pool.run_tx(|tx| {
+            tx.write(a.offset, b"mutatedA")?;
+            tx.write(b.offset, b"mutatedB")?;
+            Ok(())
+        });
+        assert!(pool.tx_log_active().unwrap());
+
+        // First recovery pass dies after replaying one entry: the log stays
+        // active and the pool is mid-rollback (b restored, a still mutated).
+        pool.set_crash_point(Some(CrashPoint::DuringRecovery));
+        assert!(pool.recover().unwrap_err().is_injected_crash());
+        assert!(pool.tx_log_active().unwrap());
+        assert_eq!(&read8(&pool, b.offset), b"untouchd");
+        assert_eq!(&read8(&pool, a.offset), b"mutatedA");
+        drop(pool);
+
+        // "Reboot": open runs a full recovery pass, which replays every entry
+        // again (re-restoring b is harmless — entries hold absolute contents).
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = PmemPool::open_with_backend(shared, "tx-test").unwrap();
+        assert_eq!(&read8(&reopened, a.offset), b"original");
+        assert_eq!(&read8(&reopened, b.offset), b"untouchd");
+        // Recovery run again (twice) must be a no-op and leave the log idle.
+        assert!(!reopened.recover().unwrap());
+        assert!(!reopened.recover().unwrap());
+        assert!(!reopened.tx_log_active().unwrap());
+        assert_eq!(&read8(&reopened, a.offset), b"original");
+        // And new transactions run normally.
+        reopened
+            .run_tx(|tx| tx.write(a.offset, b"newvalue"))
+            .unwrap();
+        assert_eq!(&read8(&reopened, a.offset), b"newvalue");
+    }
+
+    #[test]
+    fn recovery_crash_point_is_inert_when_log_is_idle() {
+        let (_, pool) = pool_pair();
+        pool.set_crash_point(Some(CrashPoint::DuringRecovery));
+        // Nothing to recover: the injection site is never reached.
+        assert!(!pool.recover().unwrap());
+        assert!(!pool.tx_log_active().unwrap());
     }
 
     #[test]

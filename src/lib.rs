@@ -35,5 +35,9 @@ mod tests {
         assert_eq!(runtime.topology().nodes().len(), 3);
         assert_eq!(crate::stream::Kernel::Triad.figure_number(), 8);
         assert_eq!(crate::streamer::groups::TestGroup::ALL.len(), 5);
+        // The checkpoint subsystem (and the crash-matrix dimensions) are
+        // reachable through the facade.
+        assert_eq!(crate::pmem::CheckpointPhase::ALL.len(), 4);
+        assert_eq!(crate::pmem::CrashPoint::ALL.len(), 4);
     }
 }

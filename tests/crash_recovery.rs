@@ -6,7 +6,10 @@ use std::sync::Arc;
 use streamer_repro::cxl::{FpgaPrototype, Type3Device};
 use streamer_repro::cxl_pmem::CxlDeviceBackend;
 use streamer_repro::numa::{AffinityPolicy, PinnedPool};
-use streamer_repro::pmem::{CrashPoint, PersistentArray, PmemPool, TypedOid};
+use streamer_repro::pmem::{
+    CheckpointCrash, CheckpointPhase, CheckpointRegion, CrashPoint, PersistentArray, PmemPool,
+    TypedOid,
+};
 use streamer_repro::stream::{PmemStream, StreamConfig};
 
 const POOL_BYTES: u64 = 32 * 1024 * 1024;
@@ -40,8 +43,8 @@ fn torn_transaction_on_the_expander_rolls_back_across_reopen() {
     };
     let pool = reopen_on(&device);
     let array = PersistentArray::<u64>::from_oid(&pool, oid);
-    let mut values = vec![0u64; 1024];
-    array.load_slice(0, &mut values).unwrap();
+    let values = array.to_vec().unwrap();
+    assert_eq!(values.len(), 1024);
     assert!(
         values.iter().all(|&v| v == 1),
         "torn checkpoint must roll back"
@@ -72,6 +75,35 @@ fn persistent_power_cycle_keeps_pool_contents_volatile_cycle_loses_them() {
     device.power_cycle(false);
     let backend = CxlDeviceBackend::new(Arc::clone(&device), 0, POOL_BYTES).unwrap();
     assert!(PmemPool::open_with_backend(Arc::new(backend), "crash-test").is_err());
+}
+
+#[test]
+fn checkpoint_region_on_the_expander_survives_torn_commit_and_power_cycle() {
+    let device = expander();
+    let data: Vec<u8> = (0..8192u32).map(|i| (i % 253) as u8).collect();
+    {
+        let pool = pool_on(&device);
+        let mut region = CheckpointRegion::format(&pool, data.len() as u64, 1024).unwrap();
+        pool.set_root(region.oid(), data.len() as u64).unwrap();
+        region.checkpoint(&data).unwrap();
+        // A torn header write on the next slot must be harmless.
+        region.set_crash(Some(CheckpointCrash {
+            phase: CheckpointPhase::HeaderWrite,
+            point: CrashPoint::BeforeCommit,
+        }));
+        let mut mutated = data.clone();
+        mutated[0] ^= 0xFF;
+        assert!(region.checkpoint(&mutated).unwrap_err().is_injected_crash());
+    }
+    // Battery-backed power cycle: the expander keeps its bytes; the reopened
+    // region restores epoch 1 exactly, never the torn epoch-2 attempt.
+    device.power_cycle(true);
+    let pool = reopen_on(&device);
+    let region = CheckpointRegion::open_root(&pool).unwrap();
+    assert_eq!(region.committed_epoch(), 1);
+    let mut out = vec![0u8; data.len()];
+    region.restore(&mut out).unwrap();
+    assert_eq!(out, data);
 }
 
 #[test]
