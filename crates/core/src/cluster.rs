@@ -1,0 +1,799 @@
+//! The disaggregated cluster: switch-pooled far memory with federated
+//! checkpoint/restart across simulated hosts.
+//!
+//! This is the paper's headline scenario made executable. §1.3's CXL 2.0
+//! pooling puts a rack of Type-3 expanders behind a switch; §2.2's
+//! multi-headed sharing exposes one carved segment to several compute nodes
+//! with software-managed coherence. A [`DisaggregatedCluster`] owns the
+//! [`CxlSwitch`], binds ports, carves [`PoolAllocation`]s per host, wraps each
+//! in a [`SharedRegion`], and lays a `pmem` pool with a
+//! [`CheckpointRegion`] inside the shared window — so
+//! a checkpoint written by host A is a first-class object host B can restore
+//! after A fails.
+//!
+//! ```text
+//!   host A (compute node)          host B (spare node)
+//!      │ checkpoint(data)             │ attach · acquire · restore
+//!      ▼                              ▼
+//!   [HostSegment · host 0]        [HostSegment · host 1]
+//!      │ SharedRegionBackend         │ SharedRegionBackend
+//!      ▼                              ▼
+//!   ┌──────────── SharedRegion ("jacobi", software-managed) ───────────┐
+//!   │  PmemPool ▸ CheckpointRegion (two-slot epochs, undo-log commit)  │
+//!   └──────────────────────────┬───────────────────────────────────────┘
+//!                              │ PoolAllocation (dpa window)
+//!                     ┌────────┴────────┐
+//!                     │    CxlSwitch    │  ports ↔ Type-3 expanders
+//!                     └─────────────────┘
+//! ```
+//!
+//! # Coherence discipline (enforced, not advisory)
+//!
+//! Under [`CoherenceMode::SoftwareManaged`] the device media is a single
+//! store, but nothing guarantees another host's caches observe it. The
+//! cluster therefore enforces the publish/acquire protocol the paper expects
+//! applications to follow:
+//!
+//! * a **checkpoint commit ends in `publish`** — [`HostSegment::checkpoint`]
+//!   publishes exactly once, after the commit record is durable; a commit
+//!   that crashes (injected or real) publishes nothing;
+//! * a **restore on another host requires `acquire`** — restoring while the
+//!   host's acquired version is stale is [`ClusterError::NotAcquired`], a
+//!   typed error instead of silently stale data;
+//! * reading a segment whose writer **never published** is
+//!   [`ClusterError::NeverPublished`] — even when bytes already landed on the
+//!   media, the reader has no right to them until the writer signals.
+//!
+//! Media durability is separate: the pool backend's `persist` maps to the
+//! region's Global-Persistent-Flush path, so a torn commit is still
+//! recoverable (the undo log rolls it back on the next open) even though it
+//! was never published.
+
+// Re-exported so harnesses driving the cluster (the streamer scenarios, the
+// examples) need only a `cxl-pmem` dependency.
+pub use cxl::CoherenceMode;
+pub use pmem::{CheckpointCrash, CheckpointPhase, CheckpointStats, CrashPoint, SerialExecutor};
+
+use cxl::{CxlError, CxlSwitch, HostId, PoolAllocation, PortId, SharedRegion, Type3Device};
+use pmem::{CheckpointRegion, ChunkExecutor, PmemError, PmemPool, SharedRegionBackend};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Errors surfaced by the cluster layer.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// No segment with this name exists in the cluster.
+    UnknownSegment(String),
+    /// A segment with this name already exists.
+    SegmentExists(String),
+    /// Software-managed coherence: the host tried to restore without having
+    /// acquired the latest publication (stale view — refused, not returned).
+    NotAcquired {
+        /// The offending host.
+        host: HostId,
+        /// The segment it read.
+        segment: String,
+    },
+    /// Software-managed coherence: the segment's writer never published, so
+    /// no reader is entitled to its bytes yet.
+    NeverPublished {
+        /// The segment that was read.
+        segment: String,
+    },
+    /// The CXL layer (switch pooling, shared-region access) failed.
+    Cxl(CxlError),
+    /// The persistent store (pool, checkpoint region) failed.
+    Pmem(PmemError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownSegment(name) => write!(f, "unknown shared segment '{name}'"),
+            ClusterError::SegmentExists(name) => {
+                write!(f, "shared segment '{name}' already exists")
+            }
+            ClusterError::NotAcquired { host, segment } => write!(
+                f,
+                "host {host} must acquire segment '{segment}' before restoring \
+                 (software-managed coherence)"
+            ),
+            ClusterError::NeverPublished { segment } => write!(
+                f,
+                "segment '{segment}' was never published by its writer; refusing the read"
+            ),
+            ClusterError::Cxl(e) => write!(f, "cxl error: {e}"),
+            ClusterError::Pmem(e) => write!(f, "pmem error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<CxlError> for ClusterError {
+    fn from(e: CxlError) -> Self {
+        ClusterError::Cxl(e)
+    }
+}
+impl From<PmemError> for ClusterError {
+    fn from(e: PmemError) -> Self {
+        ClusterError::Pmem(e)
+    }
+}
+
+impl ClusterError {
+    /// Whether this error is the pmem crash-injection sentinel.
+    pub fn is_injected_crash(&self) -> bool {
+        matches!(self, ClusterError::Pmem(e) if e.is_injected_crash())
+    }
+}
+
+/// Result alias for cluster operations.
+pub type ClusterResult<T> = std::result::Result<T, ClusterError>;
+
+/// One named shared segment: the allocation it was carved from, the shared
+/// window over it, and the checkpoint layout living inside.
+struct Segment {
+    name: String,
+    allocation: PoolAllocation,
+    region: Arc<SharedRegion>,
+    data_len: u64,
+}
+
+/// State shared by the cluster facade and every host handle.
+struct ClusterShared {
+    mode: CoherenceMode,
+    switch: Mutex<CxlSwitch>,
+    segments: Mutex<HashMap<String, Arc<Segment>>>,
+}
+
+impl ClusterShared {
+    fn switch(&self) -> std::sync::MutexGuard<'_, CxlSwitch> {
+        self.switch.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn segments(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Segment>>> {
+        self.segments.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A rack-level disaggregated-memory cluster: a CXL 2.0 switch pooling Type-3
+/// expanders, per-host capacity carving, and named shared segments hosts
+/// checkpoint into and restore from (see the [module docs](self)).
+pub struct DisaggregatedCluster {
+    shared: Arc<ClusterShared>,
+}
+
+impl fmt::Debug for DisaggregatedCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One lock per statement: holding both guards in a chained expression
+        // would invert create_segment's segments→switch order (ABBA).
+        let ports = self.shared.switch().ports();
+        let segments = self.shared.segments().len();
+        f.debug_struct("DisaggregatedCluster")
+            .field("mode", &self.shared.mode)
+            .field("ports", &ports)
+            .field("segments", &segments)
+            .finish()
+    }
+}
+
+impl DisaggregatedCluster {
+    /// Creates an empty cluster (no pooled devices yet) whose shared segments
+    /// use `mode` for cross-host coherence.
+    pub fn new(name: impl Into<String>, mode: CoherenceMode) -> Self {
+        DisaggregatedCluster {
+            shared: Arc::new(ClusterShared {
+                mode,
+                switch: Mutex::new(CxlSwitch::new(name)),
+                segments: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Attaches a Type-3 expander to the next downstream port.
+    pub fn attach_device(&self, device: Arc<Type3Device>) -> PortId {
+        self.shared.switch().attach_device(device)
+    }
+
+    /// Binds a downstream port exclusively to `host`; subsequent segment
+    /// carving for other hosts skips this port.
+    pub fn bind_port(&self, port: PortId, host: HostId) -> ClusterResult<()> {
+        self.shared
+            .switch()
+            .bind_port(port, host)
+            .map_err(Into::into)
+    }
+
+    /// Unbinds a port, returning it to the anyone-may-allocate pool.
+    pub fn unbind_port(&self, port: PortId) -> ClusterResult<()> {
+        self.shared.switch().unbind_port(port).map_err(Into::into)
+    }
+
+    /// The coherence mode every segment of this cluster uses.
+    pub fn mode(&self) -> CoherenceMode {
+        self.shared.mode
+    }
+
+    /// Number of pooled downstream ports.
+    pub fn ports(&self) -> usize {
+        self.shared.switch().ports()
+    }
+
+    /// Total pooled capacity (bytes).
+    pub fn total_capacity(&self) -> u64 {
+        self.shared.switch().total_capacity()
+    }
+
+    /// Pooled capacity not assigned to any host (bytes).
+    pub fn unassigned_capacity(&self) -> u64 {
+        self.shared.switch().unassigned_capacity()
+    }
+
+    /// Pooled capacity currently assigned to `host` (bytes).
+    pub fn assigned_to(&self, host: HostId) -> u64 {
+        self.shared.switch().assigned_to(host)
+    }
+
+    /// Names of the live shared segments, sorted.
+    pub fn segment_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shared.segments().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Tears a segment down and releases its pool allocation back to the
+    /// switch (dynamic capacity release). Host handles still holding the
+    /// segment keep a working window — the model cannot revoke mappings —
+    /// but the capacity is reusable and the name can be recreated.
+    pub fn release_segment(&self, name: &str) -> ClusterResult<()> {
+        let segment = self
+            .shared
+            .segments()
+            .remove(name)
+            .ok_or_else(|| ClusterError::UnknownSegment(name.to_string()))?;
+        self.shared
+            .switch()
+            .release(segment.allocation.id)
+            .map_err(Into::into)
+    }
+
+    /// A handle acting as `host` — the per-host view every compute node gets.
+    pub fn host(&self, host: HostId) -> ClusterHost {
+        ClusterHost {
+            host,
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// A cluster handle scoped to one simulated host.
+pub struct ClusterHost {
+    host: HostId,
+    shared: Arc<ClusterShared>,
+}
+
+impl fmt::Debug for ClusterHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterHost")
+            .field("host", &self.host)
+            .finish()
+    }
+}
+
+impl ClusterHost {
+    /// The host id this handle acts as.
+    pub fn id(&self) -> HostId {
+        self.host
+    }
+
+    /// Carves a new shared segment sized for checkpoints of `data_len` bytes
+    /// persisted at `chunk_len` granularity, formats the pool + checkpoint
+    /// region inside it, and returns this host's handle. The switch skips
+    /// ports bound to other hosts, so an exclusive binding really reserves
+    /// its device.
+    pub fn create_segment(
+        &self,
+        name: impl Into<String>,
+        data_len: u64,
+        chunk_len: u64,
+    ) -> ClusterResult<HostSegment> {
+        let name = name.into();
+        let size = CheckpointRegion::required_pool_size(data_len, chunk_len);
+        // Carve first, publish the name last: the segment only enters the
+        // shared map once it is fully formatted, so a concurrent
+        // attach_segment can never see (and keep using) a window whose
+        // capacity a failure rollback is about to release.
+        let segment = {
+            let segments = self.shared.segments();
+            if segments.contains_key(&name) {
+                return Err(ClusterError::SegmentExists(name));
+            }
+            let mut switch = self.shared.switch();
+            let allocation = switch.allocate(self.host, size)?;
+            let region = Arc::new(switch.shared_region(&allocation, self.shared.mode)?);
+            Arc::new(Segment {
+                name: name.clone(),
+                allocation,
+                region,
+                data_len,
+            })
+        };
+        let formatted = (|| -> ClusterResult<CheckpointRegion<'static>> {
+            let backend = SharedRegionBackend::new(Arc::clone(&segment.region), self.host);
+            let pool = Arc::new(PmemPool::create_with_backend(
+                Arc::new(backend),
+                &segment.name,
+            )?);
+            let ckpt = CheckpointRegion::format(&pool, data_len, chunk_len)?;
+            pool.set_root(ckpt.oid(), data_len)?;
+            drop(ckpt);
+            Ok(CheckpointRegion::open_root_shared(pool)?)
+        })();
+        let error = match formatted {
+            Ok(region) => {
+                let mut segments = self.shared.segments();
+                match segments.entry(name) {
+                    std::collections::hash_map::Entry::Occupied(taken) => {
+                        // Another creator raced us to the name while we were
+                        // formatting off-lock; theirs won.
+                        ClusterError::SegmentExists(taken.key().clone())
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(Arc::clone(&segment));
+                        drop(segments);
+                        return Ok(HostSegment {
+                            host: self.host,
+                            segment,
+                            region: Some(region),
+                        });
+                    }
+                }
+            }
+            Err(e) => e,
+        };
+        // A failed (or name-raced) format must not leak the carved capacity.
+        let _ = self.shared.switch().release(segment.allocation.id);
+        Err(error)
+    }
+
+    /// Attaches this host to an existing segment (maps the shared window).
+    /// The pool inside is opened lazily — on the first `checkpoint`/`restore`
+    /// — so undo-log recovery runs on the host that actually takes over.
+    pub fn attach_segment(&self, name: &str) -> ClusterResult<HostSegment> {
+        let segment = self
+            .shared
+            .segments()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ClusterError::UnknownSegment(name.to_string()))?;
+        segment.region.attach(self.host);
+        Ok(HostSegment {
+            host: self.host,
+            segment,
+            region: None,
+        })
+    }
+}
+
+/// One host's attachment to one shared segment: checkpoint in, restore out,
+/// with the coherence discipline enforced (see the [module docs](self)).
+///
+/// Dropping the handle models the host being torn down — the segment's bytes
+/// stay on the pooled (battery-backed) devices, and any other host can
+/// attach and take over.
+pub struct HostSegment {
+    host: HostId,
+    segment: Arc<Segment>,
+    /// The opened checkpoint region (shared ownership of its pool). Kept
+    /// across calls so the incremental chunk-hash cache survives — an
+    /// unchanged checkpoint stays a zero-chunk-flush no-op on the cluster
+    /// path too. `None` until first use, and reset when a commit dies.
+    region: Option<CheckpointRegion<'static>>,
+}
+
+impl fmt::Debug for HostSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostSegment")
+            .field("host", &self.host)
+            .field("segment", &self.segment.name)
+            .field("pool_open", &self.region.is_some())
+            .finish()
+    }
+}
+
+impl HostSegment {
+    /// The segment's name.
+    pub fn name(&self) -> &str {
+        &self.segment.name
+    }
+
+    /// The host this handle acts as.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Snapshot payload size the segment was created for (bytes).
+    pub fn data_len(&self) -> u64 {
+        self.segment.data_len
+    }
+
+    /// The shared window the segment lives in (stats, protocol state).
+    pub fn region(&self) -> Arc<SharedRegion> {
+        Arc::clone(&self.segment.region)
+    }
+
+    fn ensure_region(&mut self) -> pmem::Result<&mut CheckpointRegion<'static>> {
+        if self.region.is_none() {
+            let backend = SharedRegionBackend::new(Arc::clone(&self.segment.region), self.host);
+            // Opening runs pool recovery: a commit record torn by the
+            // previous owner's crash is rolled back before any restore.
+            let pool = Arc::new(PmemPool::open_with_backend(
+                Arc::new(backend),
+                &self.segment.name,
+            )?);
+            self.region = Some(CheckpointRegion::open_root_shared(pool)?);
+        }
+        Ok(self.region.as_mut().expect("region just ensured"))
+    }
+
+    /// Commits `data` as the next epoch and **publishes** it — the
+    /// software-coherence contract that a checkpoint commit ends in a
+    /// publish. Serial persist path; see
+    /// [`checkpoint_with`](Self::checkpoint_with) for the fan-out variant.
+    pub fn checkpoint(&mut self, data: &[u8]) -> ClusterResult<CheckpointStats> {
+        self.commit(data, &SerialExecutor, None)
+    }
+
+    /// Like [`checkpoint`](Self::checkpoint), with chunk flushes fanned out
+    /// through `exec` (e.g. the runtime's resident worker pool via
+    /// [`PooledChunkExecutor`](crate::PooledChunkExecutor)).
+    pub fn checkpoint_with(
+        &mut self,
+        data: &[u8],
+        exec: &impl ChunkExecutor,
+    ) -> ClusterResult<CheckpointStats> {
+        self.commit(data, exec, None)
+    }
+
+    /// A checkpoint attempt with a crash armed at `crash` — the cross-host
+    /// restart tests' injection point. The commit fails with an
+    /// injected-crash error, nothing is published, and the handle forgets its
+    /// pool (the host "died"); the durable state is exactly what the crash
+    /// left on the pooled devices.
+    pub fn checkpoint_crashing(
+        &mut self,
+        data: &[u8],
+        crash: CheckpointCrash,
+        exec: &impl ChunkExecutor,
+    ) -> ClusterResult<CheckpointStats> {
+        self.commit(data, exec, Some(crash))
+    }
+
+    fn commit(
+        &mut self,
+        data: &[u8],
+        exec: &impl ChunkExecutor,
+        crash: Option<CheckpointCrash>,
+    ) -> ClusterResult<CheckpointStats> {
+        // Writers are bound by the discipline too: extending the epoch chain
+        // means reading the committed descriptor/slot state, so a host whose
+        // view is stale must acquire first. (A segment nobody ever published
+        // is fine to write — the creator is the one establishing
+        // publication.)
+        if self.segment.region.mode() == CoherenceMode::SoftwareManaged
+            && self.segment.region.version() > 0
+            && !self.segment.region.is_up_to_date(self.host)
+        {
+            return Err(ClusterError::NotAcquired {
+                host: self.host,
+                segment: self.segment.name.clone(),
+            });
+        }
+        let outcome = {
+            let ckpt = self.ensure_region()?;
+            ckpt.set_crash(crash);
+            ckpt.checkpoint_with(data, exec)
+        };
+        match outcome {
+            Ok(stats) => {
+                // The commit record is durable; end the commit by publishing
+                // so other hosts become entitled to acquire the new epoch.
+                self.segment.region.publish(self.host)?;
+                Ok(stats)
+            }
+            Err(e) => {
+                // The attempt died mid-commit (injected crash or a real
+                // failure): drop the region + pool handle so the next use —
+                // on this host or any other — reopens and recovers. No
+                // publish.
+                self.region = None;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Acquires the latest publication of the segment — the reader half of
+    /// the software-coherence protocol, required before a restore on a host
+    /// that did not write the data.
+    pub fn acquire(&mut self) -> ClusterResult<u64> {
+        self.segment.region.acquire(self.host).map_err(Into::into)
+    }
+
+    /// Enforces the read-side coherence discipline.
+    fn check_coherence(&self) -> ClusterResult<()> {
+        if self.segment.region.mode() != CoherenceMode::SoftwareManaged {
+            return Ok(());
+        }
+        if self.segment.region.version() == 0 {
+            return Err(ClusterError::NeverPublished {
+                segment: self.segment.name.clone(),
+            });
+        }
+        if !self.segment.region.is_up_to_date(self.host) {
+            return Err(ClusterError::NotAcquired {
+                host: self.host,
+                segment: self.segment.name.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Restores the last committed epoch into `out` and returns its number.
+    ///
+    /// Discipline first: under software-managed coherence this fails with
+    /// [`ClusterError::NeverPublished`] if the writer never published and
+    /// [`ClusterError::NotAcquired`] if this host has not acquired the latest
+    /// publication. Only then is the pool opened (running crash recovery if
+    /// the writer died mid-commit) and the committed slot read back.
+    pub fn restore(&mut self, out: &mut [u8]) -> ClusterResult<u64> {
+        self.check_coherence()?;
+        let ckpt = self.ensure_region()?;
+        Ok(ckpt.restore(out)?)
+    }
+
+    /// The last committed epoch recorded in the segment (0 = none), subject
+    /// to the same coherence discipline as [`restore`](Self::restore).
+    pub fn committed_epoch(&mut self) -> ClusterResult<u64> {
+        self.check_coherence()?;
+        let ckpt = self.ensure_region()?;
+        Ok(ckpt.committed_epoch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl::{FpgaPrototype, LinkConfig};
+
+    const MIB: u64 = 1024 * 1024;
+    const DATA: u64 = 64 * 1024;
+    const CHUNK: u64 = 4096;
+
+    fn image(tag: u8) -> Vec<u8> {
+        (0..DATA as usize)
+            .map(|i| (i as u8).wrapping_mul(17).wrapping_add(tag))
+            .collect()
+    }
+
+    fn two_card_cluster(mode: CoherenceMode) -> DisaggregatedCluster {
+        let cluster = DisaggregatedCluster::new("test-rack", mode);
+        for i in 0..2 {
+            cluster.attach_device(Arc::new(Type3Device::new(
+                format!("card{i}"),
+                64 * MIB,
+                LinkConfig::gen5_x16(),
+            )));
+        }
+        cluster
+    }
+
+    #[test]
+    fn segments_respect_exclusive_port_bindings() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        cluster.bind_port(0, 7).unwrap();
+        // Host 3's segment must come from port 1 — port 0 belongs to host 7.
+        let seg = cluster.host(3).create_segment("h3", DATA, CHUNK).unwrap();
+        drop(seg);
+        let segs = cluster.shared.segments();
+        assert_eq!(segs.get("h3").unwrap().allocation.port, 1);
+        drop(segs);
+        let seg7 = cluster.host(7).create_segment("h7", DATA, CHUNK).unwrap();
+        drop(seg7);
+        assert_eq!(
+            cluster.shared.segments().get("h7").unwrap().allocation.port,
+            0
+        );
+        assert!(cluster.assigned_to(3) > 0);
+        assert_eq!(
+            cluster.total_capacity(),
+            cluster.unassigned_capacity() + cluster.assigned_to(3) + cluster.assigned_to(7)
+        );
+    }
+
+    #[test]
+    fn cross_host_restart_after_mid_commit_crash() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let golden = image(2);
+
+        // Host A commits two epochs, then dies mid-commit of the third.
+        {
+            let mut a = cluster
+                .host(0)
+                .create_segment("jacobi", DATA, CHUNK)
+                .unwrap();
+            a.checkpoint(&image(1)).unwrap();
+            a.checkpoint(&golden).unwrap();
+            let err = a
+                .checkpoint_crashing(
+                    &image(3),
+                    CheckpointCrash {
+                        phase: CheckpointPhase::Commit,
+                        point: CrashPoint::BeforeCommit,
+                    },
+                    &SerialExecutor,
+                )
+                .unwrap_err();
+            assert!(err.is_injected_crash());
+        } // host A torn down
+
+        // Host B attaches, acquires, restores epoch 2 bit-exact.
+        let mut b = cluster.host(1).attach_segment("jacobi").unwrap();
+        b.acquire().unwrap();
+        let mut out = vec![0u8; DATA as usize];
+        assert_eq!(b.restore(&mut out).unwrap(), 2);
+        assert_eq!(out, golden);
+        // And B can continue the epoch chain where A left off.
+        let stats = b.checkpoint(&image(3)).unwrap();
+        assert_eq!(stats.epoch, 3);
+    }
+
+    #[test]
+    fn restore_without_acquire_is_a_typed_error() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_segment("seg", DATA, CHUNK).unwrap();
+        a.checkpoint(&image(1)).unwrap();
+        let mut b = cluster.host(1).attach_segment("seg").unwrap();
+        let mut out = vec![0u8; DATA as usize];
+        assert!(matches!(
+            b.restore(&mut out).unwrap_err(),
+            ClusterError::NotAcquired { host: 1, .. }
+        ));
+        b.acquire().unwrap();
+        assert_eq!(b.restore(&mut out).unwrap(), 1);
+        // A new publication staling B's view re-raises the error.
+        a.checkpoint(&image(2)).unwrap();
+        assert!(matches!(
+            b.restore(&mut out).unwrap_err(),
+            ClusterError::NotAcquired { host: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn unpublished_segment_is_a_typed_error() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        // Host A dies during its *first* commit: nothing was ever published.
+        {
+            let mut a = cluster
+                .host(0)
+                .create_segment("fresh", DATA, CHUNK)
+                .unwrap();
+            let _ = a.checkpoint_crashing(
+                &image(1),
+                CheckpointCrash {
+                    phase: CheckpointPhase::HeaderWrite,
+                    point: CrashPoint::BeforeCommit,
+                },
+                &SerialExecutor,
+            );
+        }
+        let mut b = cluster.host(1).attach_segment("fresh").unwrap();
+        b.acquire().unwrap();
+        let mut out = vec![0u8; DATA as usize];
+        assert!(matches!(
+            b.restore(&mut out).unwrap_err(),
+            ClusterError::NeverPublished { .. }
+        ));
+        assert!(matches!(
+            b.committed_epoch().unwrap_err(),
+            ClusterError::NeverPublished { .. }
+        ));
+    }
+
+    #[test]
+    fn hardware_coherence_needs_no_handshake() {
+        let cluster = two_card_cluster(CoherenceMode::HardwareBackInvalidate);
+        let mut a = cluster.host(0).create_segment("hw", DATA, CHUNK).unwrap();
+        a.checkpoint(&image(5)).unwrap();
+        let mut b = cluster.host(1).attach_segment("hw").unwrap();
+        // No acquire: back-invalidation makes the publication visible.
+        let mut out = vec![0u8; DATA as usize];
+        assert_eq!(b.restore(&mut out).unwrap(), 1);
+        assert_eq!(out, image(5));
+    }
+
+    #[test]
+    fn checkpoint_by_a_stale_host_is_a_typed_error() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_segment("seg", DATA, CHUNK).unwrap();
+        a.checkpoint(&image(1)).unwrap();
+        // Host 1 never acquired: it may not extend the epoch chain either.
+        let mut b = cluster.host(1).attach_segment("seg").unwrap();
+        assert!(matches!(
+            b.checkpoint(&image(2)).unwrap_err(),
+            ClusterError::NotAcquired { host: 1, .. }
+        ));
+        b.acquire().unwrap();
+        assert_eq!(b.checkpoint(&image(2)).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn repeated_checkpoints_stay_incremental() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_segment("inc", DATA, CHUNK).unwrap();
+        let data = image(1);
+        a.checkpoint(&data).unwrap();
+        a.checkpoint(&data).unwrap();
+        // The cached region preserves the incremental hash state across
+        // calls: an unchanged epoch flushes zero chunks on the cluster path.
+        let stats = a.checkpoint(&data).unwrap();
+        assert_eq!(stats.chunks_written, 0);
+        assert_eq!(stats.epoch, 3);
+    }
+
+    #[test]
+    fn failed_create_releases_the_name_and_the_capacity() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let host = cluster.host(0);
+        // chunk_len = 0 is rejected by the checkpoint layer *after* the
+        // allocation was carved; the reservation must be rolled back.
+        assert!(host.create_segment("seg", DATA, 0).is_err());
+        assert_eq!(cluster.assigned_to(0), 0, "carved capacity leaked");
+        assert!(cluster.segment_names().is_empty(), "name leaked");
+        // The retry with valid parameters succeeds.
+        host.create_segment("seg", DATA, CHUNK).unwrap();
+    }
+
+    #[test]
+    fn segment_lifecycle_names_and_release() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let host = cluster.host(0);
+        host.create_segment("a", DATA, CHUNK).unwrap();
+        host.create_segment("b", DATA, CHUNK).unwrap();
+        assert!(matches!(
+            host.create_segment("a", DATA, CHUNK).unwrap_err(),
+            ClusterError::SegmentExists(_)
+        ));
+        assert!(matches!(
+            host.attach_segment("missing").unwrap_err(),
+            ClusterError::UnknownSegment(_)
+        ));
+        assert_eq!(cluster.segment_names(), vec!["a", "b"]);
+        let before = cluster.unassigned_capacity();
+        cluster.release_segment("a").unwrap();
+        assert!(cluster.unassigned_capacity() > before);
+        assert_eq!(cluster.segment_names(), vec!["b"]);
+        assert!(cluster.release_segment("a").is_err());
+        // The freed name can be recreated.
+        host.create_segment("a", DATA, CHUNK).unwrap();
+    }
+
+    #[test]
+    fn prototype_cards_pool_like_the_paper() {
+        let cluster = DisaggregatedCluster::new("rack", CoherenceMode::SoftwareManaged);
+        cluster.attach_device(FpgaPrototype::paper_prototype().endpoint());
+        cluster.attach_device(FpgaPrototype::paper_prototype().endpoint());
+        assert_eq!(cluster.ports(), 2);
+        assert_eq!(cluster.total_capacity(), 32 * 1024 * MIB);
+        let mut seg = cluster
+            .host(0)
+            .create_segment("proto", DATA, CHUNK)
+            .unwrap();
+        seg.checkpoint(&image(9)).unwrap();
+        let mut out = vec![0u8; DATA as usize];
+        seg.acquire().unwrap();
+        assert_eq!(seg.restore(&mut out).unwrap(), 1);
+        assert_eq!(out, image(9));
+    }
+}

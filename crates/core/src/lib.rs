@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod cluster;
 pub mod modes;
 pub mod placement;
 pub mod runtime;
 
 pub use backend::CxlDeviceBackend;
+pub use cluster::{ClusterError, ClusterHost, DisaggregatedCluster, HostSegment};
 pub use modes::{AccessMode, ModeProperties};
 pub use placement::{ExpansionPlan, TierPolicy};
 pub use runtime::{CxlPmemRuntime, ManagedPool, PooledChunkExecutor, RuntimeError, SetupKind};

@@ -416,6 +416,30 @@ impl CxlPmemRuntime {
         Ok(Self::managed(pool, node))
     }
 
+    // -------------------------------------------------------------- cluster
+
+    /// Builds a rack-level [`DisaggregatedCluster`](crate::DisaggregatedCluster)
+    /// of `cards` paper-prototype expanders pooled behind one CXL 2.0 switch,
+    /// with `mode` governing cross-host coherence of its shared segments.
+    ///
+    /// The cluster is the federation layer above this runtime: compute nodes
+    /// checkpoint into switch-pooled far memory and a *different* node
+    /// restores after failure. Chunk persists can be fanned across this
+    /// runtime's resident workers by passing
+    /// [`PooledChunkExecutor`] to
+    /// [`HostSegment::checkpoint_with`](crate::HostSegment::checkpoint_with).
+    pub fn disaggregated_cluster(
+        &self,
+        cards: usize,
+        mode: cxl::CoherenceMode,
+    ) -> crate::DisaggregatedCluster {
+        let cluster = crate::DisaggregatedCluster::new(format!("{:?}-rack", self.kind), mode);
+        for _ in 0..cards {
+            cluster.attach_device(FpgaPrototype::paper_prototype().endpoint());
+        }
+        cluster
+    }
+
     // -------------------------------------------------------------- accounting
 
     fn stream_phase(
@@ -764,6 +788,49 @@ mod tests {
         assert_eq!(region.committed_epoch(), 3);
         let mut out = vec![0u8; data_len as usize];
         region.restore(&mut out).unwrap();
+        assert_eq!(out, image);
+    }
+
+    #[test]
+    fn cluster_checkpoints_fan_out_over_the_runtime_worker_pool() {
+        use cxl::CoherenceMode;
+        use pmem::{CheckpointCrash, CheckpointPhase, CrashPoint};
+
+        let rt = CxlPmemRuntime::setup1();
+        let cluster = rt.disaggregated_cluster(2, CoherenceMode::SoftwareManaged);
+        assert_eq!(cluster.ports(), 2);
+        let workers = rt.worker_pool_for(&AffinityPolicy::close(), 4).unwrap();
+        let exec = PooledChunkExecutor(&workers);
+
+        let data_len = 64 * 1024u64;
+        let image: Vec<u8> = (0..data_len).map(|i| (i % 249) as u8).collect();
+        let mut a = cluster
+            .host(0)
+            .create_segment("fanout", data_len, 4096)
+            .unwrap();
+        let stats = a.checkpoint_with(&image, &exec).unwrap();
+        assert_eq!(stats.chunks_written, 16, "cold slot flushes every chunk");
+        a.checkpoint_with(&image, &exec).unwrap();
+
+        // Die mid-commit on the resident-pool path too, then fail over.
+        let mut next = image.clone();
+        next[0] ^= 0xFF;
+        assert!(a
+            .checkpoint_crashing(
+                &next,
+                CheckpointCrash {
+                    phase: CheckpointPhase::Commit,
+                    point: CrashPoint::BeforeCommit,
+                },
+                &exec,
+            )
+            .unwrap_err()
+            .is_injected_crash());
+        drop(a);
+        let mut b = cluster.host(1).attach_segment("fanout").unwrap();
+        b.acquire().unwrap();
+        let mut out = vec![0u8; data_len as usize];
+        assert_eq!(b.restore(&mut out).unwrap(), 2);
         assert_eq!(out, image);
     }
 

@@ -39,6 +39,8 @@ pub enum CxlError {
     },
     /// A configuration register offset was invalid.
     InvalidRegister(u32),
+    /// Pooling: the allocation id is not (or no longer) live on this switch.
+    UnknownAllocation(u64),
 }
 
 impl fmt::Display for CxlError {
@@ -69,6 +71,9 @@ impl fmt::Display for CxlError {
                 write!(f, "host {host} has not attached the shared region")
             }
             CxlError::InvalidRegister(offset) => write!(f, "invalid register offset {offset:#x}"),
+            CxlError::UnknownAllocation(id) => {
+                write!(f, "pool allocation {id} is not live on this switch")
+            }
         }
     }
 }

@@ -47,7 +47,7 @@ pub use fpga::FpgaPrototype;
 pub use hdm::{HdmDecoder, HdmRange};
 pub use sharing::{CoherenceMode, SharedRegion};
 pub use sparse::SparseMemory;
-pub use switch::{CxlSwitch, PortId};
+pub use switch::{CxlSwitch, HostId, PoolAllocation, PortId};
 pub use transaction::{IoRequest, IoResponse, MemOpcode, MemRequest, MemResponse};
 
 /// Result alias for CXL operations.

@@ -79,7 +79,14 @@ impl SharedRegion {
         len: u64,
         mode: CoherenceMode,
     ) -> Result<Self> {
-        if dpa_base + len > device.capacity_bytes() {
+        // `checked_add`: an adversarial (base, len) pair near u64::MAX must
+        // not wrap around and slip past the capacity comparison.
+        let end = dpa_base.checked_add(len).ok_or(CxlError::OutOfBounds {
+            dpa: dpa_base,
+            len: len as usize,
+            capacity: device.capacity_bytes(),
+        })?;
+        if end > device.capacity_bytes() {
             return Err(CxlError::OutOfBounds {
                 dpa: dpa_base,
                 len: len as usize,
@@ -128,16 +135,26 @@ impl SharedRegion {
         }
     }
 
+    /// Validates `[offset, offset + len)` against the window, with overflow-
+    /// safe arithmetic: `offset + len` on adversarial inputs must not wrap
+    /// below `self.len` and pass.
+    fn check_window(&self, offset: u64, len: usize) -> Result<()> {
+        let out_of_bounds = || CxlError::OutOfBounds {
+            dpa: self.dpa_base.saturating_add(offset),
+            len,
+            capacity: self.dpa_base + self.len,
+        };
+        let end = offset.checked_add(len as u64).ok_or_else(out_of_bounds)?;
+        if end > self.len {
+            return Err(out_of_bounds());
+        }
+        Ok(())
+    }
+
     /// Writes `data` at `offset` within the region on behalf of `host`.
     pub fn write(&self, host: usize, offset: u64, data: &[u8]) -> Result<()> {
         self.check_attached(host)?;
-        if offset + data.len() as u64 > self.len {
-            return Err(CxlError::OutOfBounds {
-                dpa: self.dpa_base + offset,
-                len: data.len(),
-                capacity: self.dpa_base + self.len,
-            });
-        }
+        self.check_window(offset, data.len())?;
         self.device.write_bulk(self.dpa_base + offset, data)?;
         let mut state = self.state.lock();
         let version = state.version;
@@ -156,13 +173,7 @@ impl SharedRegion {
     /// Reads `buf.len()` bytes at `offset` on behalf of `host`.
     pub fn read(&self, host: usize, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.check_attached(host)?;
-        if offset + buf.len() as u64 > self.len {
-            return Err(CxlError::OutOfBounds {
-                dpa: self.dpa_base + offset,
-                len: buf.len(),
-                capacity: self.dpa_base + self.len,
-            });
-        }
+        self.check_window(offset, buf.len())?;
         self.device.read_bulk(self.dpa_base + offset, buf)?;
         let mut state = self.state.lock();
         let host_state = state.hosts.get_mut(&host).expect("attached");
@@ -183,6 +194,24 @@ impl SharedRegion {
         host_state.stats.publishes += 1;
         host_state.acquired_version = version;
         Ok(version)
+    }
+
+    /// Flushes the host's accepted writes into the device's persistence
+    /// domain **without** publishing them: media durability (the GPF path a
+    /// pool backend's `persist` maps to) is a weaker guarantee than
+    /// cross-host visibility, which still requires [`publish`](Self::publish)
+    /// under [`CoherenceMode::SoftwareManaged`].
+    pub fn persist(&self, host: usize) -> Result<()> {
+        self.check_attached(host)?;
+        self.device.global_persistent_flush();
+        Ok(())
+    }
+
+    /// The current publication version (0 = nothing ever published). Every
+    /// [`publish`](Self::publish) — and, under hardware coherence, every
+    /// write — bumps it.
+    pub fn version(&self) -> u64 {
+        self.state.lock().version
     }
 
     /// Acquires the latest published version: invalidate the host's stale
@@ -300,6 +329,56 @@ mod tests {
         assert!(r.write(0, 8 * MIB - 2, &[1, 2, 3, 4]).is_err());
         let mut buf = [0u8; 16];
         assert!(r.read(0, 8 * MIB, &mut buf).is_err());
+    }
+
+    #[test]
+    fn overflowing_window_arithmetic_is_rejected() {
+        // Region construction: dpa_base + len wrapping past u64::MAX used to
+        // pass the capacity check.
+        let device = Arc::new(Type3Device::new("small", MIB, LinkConfig::gen5_x16()));
+        assert!(matches!(
+            SharedRegion::new(
+                Arc::clone(&device),
+                u64::MAX - 4,
+                8,
+                CoherenceMode::SoftwareManaged
+            )
+            .unwrap_err(),
+            CxlError::OutOfBounds { .. }
+        ));
+        // Accesses: offset + data.len() wrapping used to pass the window check
+        // and only fail (or worse, alias) at the device layer.
+        let r = SharedRegion::new(device, 0, MIB, CoherenceMode::SoftwareManaged).unwrap();
+        r.attach(0);
+        assert!(matches!(
+            r.write(0, u64::MAX - 2, &[1, 2, 3, 4]).unwrap_err(),
+            CxlError::OutOfBounds { .. }
+        ));
+        let mut buf = [0u8; 8];
+        assert!(matches!(
+            r.read(0, u64::MAX - 2, &mut buf).unwrap_err(),
+            CxlError::OutOfBounds { .. }
+        ));
+        // In-bounds traffic still works after the rejections.
+        r.write(0, 0, &[9; 8]).unwrap();
+        r.read(0, 0, &mut buf).unwrap();
+        assert_eq!(buf, [9; 8]);
+    }
+
+    #[test]
+    fn persist_is_durability_without_publication() {
+        let r = region(CoherenceMode::SoftwareManaged);
+        r.attach(0);
+        r.attach(1);
+        r.write(0, 0, &[7; 32]).unwrap();
+        r.persist(0).unwrap();
+        // The bytes are durable but host 0 still owes a publish.
+        assert_eq!(r.version(), 0);
+        assert!(r.has_unpublished_writes(0));
+        assert!(r.persist(9).is_err(), "unattached hosts cannot persist");
+        let v = r.publish(0).unwrap();
+        assert_eq!(r.version(), v);
+        assert!(!r.has_unpublished_writes(0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::endpoint::Type3Device;
 use crate::error::CxlError;
+use crate::sharing::{CoherenceMode, SharedRegion};
 use crate::Result;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,8 +41,12 @@ pub struct CxlSwitch {
     devices: Vec<Arc<Type3Device>>,
     /// Downstream port -> host binding.
     bindings: HashMap<PortId, HostId>,
-    /// Next free DPA per downstream port (simple bump allocation).
+    /// Next free DPA per downstream port (bump allocation above the holes).
     watermark: Vec<u64>,
+    /// Released-but-not-yet-coalesced ranges per port, sorted by offset and
+    /// kept merged. Holes are reusable (first-fit) and count as unassigned,
+    /// so `unassigned + Σ assigned == total` holds at all times.
+    holes: Vec<Vec<(u64, u64)>>,
     allocations: Vec<PoolAllocation>,
     next_alloc_id: u64,
 }
@@ -54,6 +59,7 @@ impl CxlSwitch {
             devices: Vec::new(),
             bindings: HashMap::new(),
             watermark: Vec::new(),
+            holes: Vec::new(),
             allocations: Vec::new(),
             next_alloc_id: 1,
         }
@@ -68,6 +74,7 @@ impl CxlSwitch {
     pub fn attach_device(&mut self, device: Arc<Type3Device>) -> PortId {
         self.devices.push(device);
         self.watermark.push(0);
+        self.holes.push(Vec::new());
         self.devices.len() - 1
     }
 
@@ -113,34 +120,63 @@ impl CxlSwitch {
         self.devices.iter().map(|d| d.capacity_bytes()).sum()
     }
 
-    /// Capacity not yet handed out by the pool (bytes).
+    /// Capacity not yet assigned to any host (bytes): the bump space above
+    /// every port's watermark plus the released holes below it.
     pub fn unassigned_capacity(&self) -> u64 {
-        self.devices
+        let above: u64 = self
+            .devices
             .iter()
             .zip(self.watermark.iter())
             .map(|(d, &w)| d.capacity_bytes().saturating_sub(w))
-            .sum()
+            .sum();
+        let holes: u64 = self
+            .holes
+            .iter()
+            .flat_map(|port| port.iter().map(|&(_, len)| len))
+            .sum();
+        above + holes
+    }
+
+    /// Whether `host` may take capacity from `port`: unbound ports serve any
+    /// host (multiple-logical-device pooling); a bound port serves only the
+    /// host it is bound to.
+    fn port_serves(&self, port: PortId, host: HostId) -> bool {
+        self.bindings.get(&port).is_none_or(|&bound| bound == host)
     }
 
     /// Allocates `len` bytes from the pool to `host` (dynamic capacity add).
-    /// Capacity is taken from the first device with room; an allocation never
-    /// spans devices.
+    /// Ports exclusively bound to a *different* host are skipped; on each
+    /// eligible port a released hole is reused first (first fit), then the
+    /// bump watermark. An allocation never spans devices.
     pub fn allocate(&mut self, host: HostId, len: u64) -> Result<PoolAllocation> {
         for (port, device) in self.devices.iter().enumerate() {
-            let free = device.capacity_bytes() - self.watermark[port];
-            if free >= len {
-                let alloc = PoolAllocation {
-                    id: self.next_alloc_id,
-                    host,
-                    port,
-                    dpa_offset: self.watermark[port],
-                    len,
-                };
-                self.next_alloc_id += 1;
-                self.watermark[port] += len;
-                self.allocations.push(alloc.clone());
-                return Ok(alloc);
+            if !self.port_serves(port, host) {
+                continue;
             }
+            let dpa_offset =
+                if let Some(hole) = self.holes[port].iter_mut().find(|&&mut (_, l)| l >= len) {
+                    let offset = hole.0;
+                    hole.0 += len;
+                    hole.1 -= len;
+                    self.holes[port].retain(|&(_, l)| l > 0);
+                    offset
+                } else if device.capacity_bytes() - self.watermark[port] >= len {
+                    let offset = self.watermark[port];
+                    self.watermark[port] += len;
+                    offset
+                } else {
+                    continue;
+                };
+            let alloc = PoolAllocation {
+                id: self.next_alloc_id,
+                host,
+                port,
+                dpa_offset,
+                len,
+            };
+            self.next_alloc_id += 1;
+            self.allocations.push(alloc.clone());
+            return Ok(alloc);
         }
         Err(CxlError::InsufficientCapacity {
             requested: len,
@@ -148,18 +184,57 @@ impl CxlSwitch {
         })
     }
 
-    /// Releases an allocation (dynamic capacity release). Freed capacity is
-    /// only reusable once it is the most recent allocation on its device — the
-    /// simple bump allocator mirrors how the prototype carves regions.
+    /// Releases an allocation (dynamic capacity release). The freed range
+    /// becomes a reusable hole; when the range under the watermark is
+    /// entirely free the watermark drops past **all** trailing free space, so
+    /// releasing adjacent tail blocks out of order still reclaims the full
+    /// bump range.
     pub fn release(&mut self, allocation_id: u64) -> Result<()> {
         let Some(pos) = self.allocations.iter().position(|a| a.id == allocation_id) else {
-            return Err(CxlError::InvalidRegister(allocation_id as u32));
+            return Err(CxlError::UnknownAllocation(allocation_id));
         };
         let alloc = self.allocations.remove(pos);
-        if self.watermark[alloc.port] == alloc.dpa_offset + alloc.len {
-            self.watermark[alloc.port] = alloc.dpa_offset;
+        let holes = &mut self.holes[alloc.port];
+        let at = holes.partition_point(|&(offset, _)| offset < alloc.dpa_offset);
+        holes.insert(at, (alloc.dpa_offset, alloc.len));
+        // Merge adjacent holes (releases of neighbouring allocations).
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(holes.len());
+        for &(offset, len) in holes.iter() {
+            match merged.last_mut() {
+                Some(last) if last.0 + last.1 == offset => last.1 += len,
+                _ => merged.push((offset, len)),
+            }
         }
+        // Coalesce: a merged hole ending at the watermark is trailing free
+        // space — fold it back into the bump range.
+        if let Some(&(offset, len)) = merged.last() {
+            if offset + len == self.watermark[alloc.port] {
+                self.watermark[alloc.port] = offset;
+                merged.pop();
+            }
+        }
+        self.holes[alloc.port] = merged;
         Ok(())
+    }
+
+    /// Wraps a live allocation in a [`SharedRegion`] over its device window —
+    /// the attach-by-allocation path multi-headed sharing uses: carve from the
+    /// pool, then expose exactly that carve to several hosts.
+    pub fn shared_region(
+        &self,
+        allocation: &PoolAllocation,
+        mode: CoherenceMode,
+    ) -> Result<SharedRegion> {
+        if !self.allocations.iter().any(|a| a == allocation) {
+            return Err(CxlError::UnknownAllocation(allocation.id));
+        }
+        let device = self.device(allocation.port)?;
+        SharedRegion::new(
+            Arc::clone(device),
+            allocation.dpa_offset,
+            allocation.len,
+            mode,
+        )
     }
 
     /// All live allocations of a host.
@@ -177,6 +252,7 @@ impl CxlSwitch {
 mod tests {
     use super::*;
     use crate::config::LinkConfig;
+    use proptest::prelude::*;
 
     const GIB: u64 = 1024 * 1024 * 1024;
 
@@ -255,6 +331,100 @@ mod tests {
     }
 
     #[test]
+    fn allocate_skips_ports_bound_to_other_hosts() {
+        // Regression: `allocate` used to ignore bindings entirely, handing
+        // host 2 capacity from a device exclusively bound to host 1.
+        let mut sw = switch_with_two_devices();
+        sw.bind_port(0, 1).unwrap();
+        let foreign = sw.allocate(2, GIB).unwrap();
+        assert_eq!(foreign.port, 1, "host 2 must not land on host 1's port");
+        // The bound host itself still allocates from its own port first.
+        let own = sw.allocate(1, GIB).unwrap();
+        assert_eq!(own.port, 0);
+        // Bind the remaining port too: a third host has nowhere to go even
+        // though bytes are free.
+        sw.bind_port(1, 2).unwrap();
+        assert!(matches!(
+            sw.allocate(3, GIB).unwrap_err(),
+            CxlError::InsufficientCapacity { .. }
+        ));
+        // Unbinding reopens the pool to everyone.
+        sw.unbind_port(0).unwrap();
+        assert_eq!(sw.allocate(3, GIB).unwrap().port, 0);
+    }
+
+    #[test]
+    fn release_of_unknown_allocation_reports_the_full_id() {
+        let mut sw = switch_with_two_devices();
+        // Regression: this used to come back as InvalidRegister(id as u32),
+        // a wrong variant whose truncating cast aliased ids ≥ 2^32.
+        let id = (7u64 << 32) | 9;
+        assert_eq!(sw.release(id).unwrap_err(), CxlError::UnknownAllocation(id));
+    }
+
+    #[test]
+    fn out_of_order_release_of_tail_blocks_reclaims_capacity() {
+        let mut sw = switch_with_two_devices();
+        let a = sw.allocate(1, GIB).unwrap();
+        let b = sw.allocate(1, GIB).unwrap();
+        let c = sw.allocate(1, GIB).unwrap();
+        assert_eq!((a.port, b.port, c.port), (0, 0, 0));
+        // Release the middle, then the top: the watermark must coalesce past
+        // *both* (the old code only dropped it past the topmost allocation).
+        sw.release(b.id).unwrap();
+        sw.release(c.id).unwrap();
+        assert_eq!(sw.unassigned_capacity(), 7 * GIB);
+        // The whole 3 GiB tail is one bump range again.
+        let big = sw.allocate(2, 3 * GIB).unwrap();
+        assert_eq!(big.port, 0);
+        assert_eq!(big.dpa_offset, GIB);
+        sw.release(a.id).unwrap();
+        sw.release(big.id).unwrap();
+        assert_eq!(sw.unassigned_capacity(), 8 * GIB);
+    }
+
+    #[test]
+    fn released_holes_are_reused_first_fit() {
+        let mut sw = switch_with_two_devices();
+        let a = sw.allocate(1, GIB).unwrap();
+        let _b = sw.allocate(1, GIB).unwrap();
+        sw.release(a.id).unwrap();
+        // The hole below the live allocation is both counted and reusable.
+        assert_eq!(sw.unassigned_capacity(), 7 * GIB);
+        let again = sw.allocate(2, GIB / 2).unwrap();
+        assert_eq!((again.port, again.dpa_offset), (0, 0));
+        assert_eq!(sw.unassigned_capacity(), 7 * GIB - GIB / 2);
+    }
+
+    #[test]
+    fn shared_region_wraps_a_live_allocation() {
+        use crate::sharing::CoherenceMode;
+        let mut sw = switch_with_two_devices();
+        let alloc = sw.allocate(0, GIB).unwrap();
+        let region = sw
+            .shared_region(&alloc, CoherenceMode::SoftwareManaged)
+            .unwrap();
+        assert_eq!(region.len(), GIB);
+        region.attach(0);
+        region.write(0, 0, b"pooled").unwrap();
+        // The bytes landed inside the allocation's device window.
+        let mut raw = [0u8; 6];
+        sw.device(alloc.port)
+            .unwrap()
+            .read_bulk(alloc.dpa_offset, &mut raw)
+            .unwrap();
+        assert_eq!(&raw, b"pooled");
+        // A released (or never-issued) allocation cannot be shared.
+        let stale = alloc.clone();
+        sw.release(alloc.id).unwrap();
+        assert_eq!(
+            sw.shared_region(&stale, CoherenceMode::SoftwareManaged)
+                .unwrap_err(),
+            CxlError::UnknownAllocation(stale.id)
+        );
+    }
+
+    #[test]
     fn allocations_of_lists_per_host() {
         let mut sw = switch_with_two_devices();
         sw.allocate(1, GIB).unwrap();
@@ -263,5 +433,79 @@ mod tests {
         assert_eq!(sw.allocations_of(1).len(), 2);
         assert_eq!(sw.allocations_of(2).len(), 1);
         assert_eq!(sw.allocations_of(3).len(), 0);
+    }
+
+    proptest! {
+        /// Pool accounting is conservation of capacity: after *any* sequence
+        /// of allocate / release / bind / unbind operations, every byte of
+        /// the pool is either assigned to exactly one host or unassigned —
+        /// `unassigned_capacity() + Σ_host assigned_to(host) ==
+        /// total_capacity()` — and live allocations never overlap.
+        #[test]
+        fn accounting_invariant_holds_across_random_sequences(
+            raw_ops in collection::vec(any::<u64>(), 1..60)
+        ) {
+            const KIB: u64 = 1024;
+            const HOSTS: usize = 4;
+            let mut sw = CxlSwitch::new("prop-switch");
+            for (i, cap) in [64 * KIB, 32 * KIB, 96 * KIB].into_iter().enumerate() {
+                sw.attach_device(Arc::new(Type3Device::new(
+                    format!("prop-dev{i}"),
+                    cap,
+                    LinkConfig::gen5_x16(),
+                )));
+            }
+            let total = sw.total_capacity();
+            let mut live: Vec<PoolAllocation> = Vec::new();
+            for op in raw_ops {
+                let host = (op >> 8) as usize % HOSTS;
+                match op % 4 {
+                    // Allocation attempts dominate so the pool actually fills
+                    // up and InsufficientCapacity paths are exercised too.
+                    0 | 1 => {
+                        let len = ((op >> 16) % (48 * KIB)) + 1;
+                        if let Ok(alloc) = sw.allocate(host, len) {
+                            if let Some(bound) = sw.binding(alloc.port) {
+                                prop_assert_eq!(
+                                    bound, host,
+                                    "allocation landed on a port bound to another host"
+                                );
+                            }
+                            live.push(alloc);
+                        }
+                    }
+                    2 => {
+                        if !live.is_empty() {
+                            let victim = (op >> 16) as usize % live.len();
+                            let alloc = live.swap_remove(victim);
+                            sw.release(alloc.id).unwrap();
+                        }
+                    }
+                    _ => {
+                        let port = (op >> 16) as usize % sw.ports();
+                        if (op >> 32) & 1 == 0 {
+                            let _ = sw.bind_port(port, host);
+                        } else {
+                            let _ = sw.unbind_port(port);
+                        }
+                    }
+                }
+                let assigned: u64 = (0..HOSTS).map(|h| sw.assigned_to(h)).sum();
+                prop_assert_eq!(sw.unassigned_capacity() + assigned, total);
+                for a in &live {
+                    for b in &live {
+                        if a.id != b.id && a.port == b.port {
+                            prop_assert!(
+                                a.dpa_offset + a.len <= b.dpa_offset
+                                    || b.dpa_offset + b.len <= a.dpa_offset,
+                                "live allocations {} and {} overlap",
+                                a.id,
+                                b.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -8,12 +8,19 @@
 //! * [`FileBackend`] — a real file (the `/mnt/pmemN/pool.obj` stand-in);
 //!   `persist` maps to `File::sync_data`, giving genuine durability across
 //!   process restarts.
+//! * [`SharedRegionBackend`] — a window of switch-pooled CXL memory shared by
+//!   several hosts (`cxl::SharedRegion`): the pool lives in the far-memory
+//!   segment one host checkpoints into and another restores from. `persist`
+//!   is media durability (Global Persistent Flush); cross-host *visibility*
+//!   stays with the region's software-managed `publish`/`acquire` protocol,
+//!   which the disaggregated-cluster layer drives explicitly.
 //! * Any other implementation supplied by a caller — the `cxl-pmem` crate
-//!   provides one that stores bytes on a `cxl::Type3Device`, which is the
-//!   paper's actual configuration (a pool living on the CXL expander).
+//!   provides one that stores bytes on a whole `cxl::Type3Device`, which is
+//!   the paper's single-host configuration (a pool living on the expander).
 
 use crate::error::PmemError;
 use crate::Result;
+use cxl::SharedRegion;
 use parking_lot::RwLock;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -211,6 +218,82 @@ impl PoolBackend for FileBackend {
     }
 }
 
+/// A pool living inside a multi-headed shared far-memory window, accessed on
+/// behalf of one host.
+///
+/// This is the disaggregated-HPC configuration of the paper's §2.2: the pool
+/// bytes sit in a `cxl::SharedRegion` carved out of a switch-managed memory
+/// pool, and *which host* is doing the access matters — the region tracks
+/// per-host traffic and the publish/acquire coherence protocol. The backend
+/// attaches its host on construction; every read/write goes through the
+/// region under that host id, and `persist` maps to the region's
+/// media-durability flush (GPF), **not** to `publish` — a checkpoint becomes
+/// visible to other hosts only when the owning layer publishes explicitly
+/// after the commit record is durable.
+pub struct SharedRegionBackend {
+    region: Arc<SharedRegion>,
+    host: usize,
+}
+
+impl SharedRegionBackend {
+    /// Creates a backend over `region` acting as `host` (attaching the host
+    /// to the region if it is not attached yet).
+    pub fn new(region: Arc<SharedRegion>, host: usize) -> Self {
+        region.attach(host);
+        SharedRegionBackend { region, host }
+    }
+
+    /// The shared region the pool bytes live in.
+    pub fn region(&self) -> Arc<SharedRegion> {
+        Arc::clone(&self.region)
+    }
+
+    /// The host this backend accesses the region as.
+    pub fn host(&self) -> usize {
+        self.host
+    }
+}
+
+fn cxl_io(e: cxl::CxlError) -> PmemError {
+    PmemError::Io(std::io::Error::other(e.to_string()))
+}
+
+impl PoolBackend for SharedRegionBackend {
+    fn capacity(&self) -> u64 {
+        self.region.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        check_bounds(self.region.len(), offset, buf.len())?;
+        self.region.read(self.host, offset, buf).map_err(cxl_io)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        check_bounds(self.region.len(), offset, data.len())?;
+        self.region.write(self.host, offset, data).map_err(cxl_io)
+    }
+
+    fn persist(&self, offset: u64, len: u64) -> Result<()> {
+        check_bounds(self.region.len(), offset, len as usize)?;
+        self.region.persist(self.host).map_err(cxl_io)
+    }
+
+    fn is_persistent(&self) -> bool {
+        // The premise of the paper: the pooled expander is off-node and
+        // battery-backed, so it survives any single compute node's failure.
+        true
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "shared-cxl[host {}, {} bytes, {:?}]",
+            self.host,
+            self.region.len(),
+            self.region.mode()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +355,36 @@ mod tests {
         let mut buf = [0u8; 16];
         assert!(backend.read_at(120, &mut buf).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_region_backend_round_trips_between_hosts() {
+        use cxl::{CoherenceMode, LinkConfig, SharedRegion, Type3Device};
+        const MIB: u64 = 1024 * 1024;
+        let device = Arc::new(Type3Device::new("pooled", 8 * MIB, LinkConfig::gen5_x16()));
+        let region = Arc::new(
+            SharedRegion::new(device, 1024, 4 * MIB, CoherenceMode::SoftwareManaged).unwrap(),
+        );
+        let a = SharedRegionBackend::new(Arc::clone(&region), 0);
+        assert_eq!(a.capacity(), 4 * MIB);
+        assert_eq!(a.host(), 0);
+        a.write_at(64, b"far memory").unwrap();
+        a.persist(64, 10).unwrap();
+        // `persist` is media durability, not publication: host 1 still needs
+        // the software-coherence handshake to be entitled to the bytes.
+        assert_eq!(region.version(), 0);
+        region.publish(0).unwrap();
+        let b = SharedRegionBackend::new(Arc::clone(&region), 1);
+        region.acquire(1).unwrap();
+        let mut buf = [0u8; 10];
+        b.read_at(64, &mut buf).unwrap();
+        assert_eq!(&buf, b"far memory");
+        // Bounds are the window, not the device.
+        assert!(a.write_at(4 * MIB - 4, &[0u8; 8]).is_err());
+        let mut big = vec![0u8; 16];
+        assert!(b.read_at(4 * MIB - 8, &mut big).is_err());
+        assert!(a.is_persistent());
+        assert!(b.describe().contains("host 1"));
     }
 
     #[test]

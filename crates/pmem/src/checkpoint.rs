@@ -76,6 +76,7 @@ use crate::oid::PmemOid;
 use crate::pool::{fnv1a, PmemPool, MIN_POOL_SIZE};
 use crate::tx::CrashPoint;
 use crate::Result;
+use std::sync::Arc;
 
 /// Region descriptor magic ("CKPTRGN1").
 pub const REGION_MAGIC: u64 = 0x434B_5054_5247_4E31;
@@ -257,11 +258,32 @@ impl SlotHeader {
     }
 }
 
+/// How a region addresses its pool: borrowed for the classic in-stack use,
+/// or shared ownership for long-lived handles (the disaggregated cluster
+/// keeps one region per host segment, preserving the incremental chunk-hash
+/// cache across checkpoint calls instead of re-validating both slots each
+/// time).
+#[derive(Debug)]
+enum PoolRef<'p> {
+    Borrowed(&'p PmemPool),
+    Shared(Arc<PmemPool>),
+}
+
+impl std::ops::Deref for PoolRef<'_> {
+    type Target = PmemPool;
+    fn deref(&self) -> &PmemPool {
+        match self {
+            PoolRef::Borrowed(pool) => pool,
+            PoolRef::Shared(pool) => pool,
+        }
+    }
+}
+
 /// A double-buffered, epoch-versioned checkpoint region inside a pool.
 ///
 /// See the [module docs](self) for the layout and the commit protocol.
 pub struct CheckpointRegion<'p> {
-    pool: &'p PmemPool,
+    pool: PoolRef<'p>,
     base: u64,
     data_len: u64,
     chunk_len: u64,
@@ -329,7 +351,7 @@ impl<'p> CheckpointRegion<'p> {
         pool.write(base + DESC_SIZE + SLOT_HEADER_SIZE, &zeros)?;
         pool.persist(base, DESC_SIZE + 2 * SLOT_HEADER_SIZE)?;
         Ok(CheckpointRegion {
-            pool,
+            pool: PoolRef::Borrowed(pool),
             base,
             data_len,
             chunk_len,
@@ -346,6 +368,10 @@ impl<'p> CheckpointRegion<'p> {
     /// Opens an existing region at `oid` (typically after a pool reopen),
     /// validating the committed slot and rebuilding the chunk-hash caches.
     pub fn open(pool: &'p PmemPool, oid: PmemOid) -> Result<Self> {
+        Self::open_at(PoolRef::Borrowed(pool), oid)
+    }
+
+    fn open_at(pool: PoolRef<'p>, oid: PmemOid) -> Result<Self> {
         let base = oid.offset;
         let mut desc = [0u8; DESC_SIZE as usize];
         pool.read(base, &mut desc)?;
@@ -410,6 +436,18 @@ impl<'p> CheckpointRegion<'p> {
             }
         }
         Ok(region)
+    }
+
+    /// Opens the pool's root region with **shared ownership** of the pool,
+    /// so the region can outlive the caller's stack frame. Long-lived
+    /// handles (e.g. the disaggregated cluster's per-host segments) use this
+    /// to keep one region — and its incremental chunk-hash cache — alive
+    /// across checkpoint calls instead of re-validating both slots per call.
+    pub fn open_root_shared(pool: Arc<PmemPool>) -> Result<CheckpointRegion<'static>> {
+        let (oid, _) = pool
+            .root()
+            .ok_or(PmemError::Checkpoint("pool has no root region"))?;
+        CheckpointRegion::open_at(PoolRef::Shared(pool), oid)
     }
 
     /// Opens the region registered as the pool's root object.
@@ -749,6 +787,31 @@ mod tests {
     }
 
     #[test]
+    fn open_root_shared_owns_the_pool_and_keeps_incremental_state() {
+        let (backend, pool) = pool_pair();
+        {
+            let mut region = CheckpointRegion::format(&pool, DATA, CHUNK).unwrap();
+            pool.set_root(region.oid(), DATA).unwrap();
+            region.checkpoint(&image(1)).unwrap();
+            region.checkpoint(&image(1)).unwrap();
+        }
+        drop(pool);
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = Arc::new(PmemPool::open_with_backend(shared, "ckpt").unwrap());
+        let mut region = CheckpointRegion::open_root_shared(Arc::clone(&reopened)).unwrap();
+        // The region co-owns the pool: dropping the caller's Arc is fine.
+        drop(reopened);
+        assert_eq!(region.committed_epoch(), 2);
+        // Open seeded the hash caches, so an unchanged epoch is still the
+        // zero-chunk-flush no-op.
+        let stats = region.checkpoint(&image(1)).unwrap();
+        assert_eq!(stats.chunks_written, 0);
+        let mut out = vec![0u8; DATA as usize];
+        assert_eq!(region.restore(&mut out).unwrap(), 3);
+        assert_eq!(out, image(1));
+    }
+
+    #[test]
     fn epochs_alternate_slots() {
         let (_, pool) = pool_pair();
         let mut region = CheckpointRegion::format(&pool, DATA, CHUNK).unwrap();
@@ -1003,6 +1066,56 @@ mod tests {
         let mut out = vec![0u8; len as usize];
         region.restore(&mut out).unwrap();
         assert_eq!(out, tail_only);
+    }
+
+    #[test]
+    fn checkpoint_survives_a_cross_host_handoff_through_a_shared_window() {
+        use crate::backend::SharedRegionBackend;
+        use cxl::{CoherenceMode, LinkConfig, SharedRegion, Type3Device};
+
+        let device = Arc::new(Type3Device::new(
+            "pooled-expander",
+            8 * 1024 * 1024,
+            LinkConfig::gen5_x16(),
+        ));
+        let window = Arc::new(
+            SharedRegion::new(device, 0, POOL_SIZE, CoherenceMode::SoftwareManaged).unwrap(),
+        );
+
+        // Host 0 formats a pool + region inside the shared window, commits
+        // two epochs and crashes with a stranded commit record on the third.
+        {
+            let backend = SharedRegionBackend::new(Arc::clone(&window), 0);
+            let pool = PmemPool::create_with_backend(Arc::new(backend), "xhost").unwrap();
+            let mut region = CheckpointRegion::format(&pool, DATA, CHUNK).unwrap();
+            pool.set_root(region.oid(), DATA).unwrap();
+            region.checkpoint(&image(1)).unwrap();
+            region.checkpoint(&image(2)).unwrap();
+            window.publish(0).unwrap();
+            region.set_crash(Some(CheckpointCrash {
+                phase: CheckpointPhase::Commit,
+                point: CrashPoint::BeforeCommit,
+            }));
+            assert!(region
+                .checkpoint(&image(3))
+                .unwrap_err()
+                .is_injected_crash());
+        }
+
+        // Host 1 attaches the same window with its *own* pool handle: open
+        // recovery rolls the torn epoch-3 commit back and epoch 2 restores
+        // bit-exact.
+        let backend = SharedRegionBackend::new(Arc::clone(&window), 1);
+        window.acquire(1).unwrap();
+        let pool = PmemPool::open_with_backend(Arc::new(backend), "xhost").unwrap();
+        let region = CheckpointRegion::open_root(&pool).unwrap();
+        assert_eq!(region.committed_epoch(), 2);
+        let mut out = vec![0u8; DATA as usize];
+        region.restore(&mut out).unwrap();
+        assert_eq!(out, image(2));
+        // Both hosts' traffic went through the one shared window.
+        assert!(window.stats(0).unwrap().bytes_written > 0);
+        assert!(window.stats(1).unwrap().bytes_read > 0);
     }
 
     #[test]

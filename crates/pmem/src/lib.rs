@@ -25,7 +25,9 @@
 //! * [`persist`] — flush/drain primitives with instrumentation counters, the
 //!   stand-ins for `CLWB`/`SFENCE` (or the `pmem_persist` libpmem call).
 //! * [`backend`] — where the bytes actually live: a volatile buffer, a file
-//!   (the DAX-filesystem stand-in), or any caller-provided store such as the
+//!   (the DAX-filesystem stand-in), a multi-headed shared far-memory window
+//!   ([`backend::SharedRegionBackend`], the pooled-CXL tier cross-host
+//!   checkpoint/restart runs on), or any caller-provided store such as the
 //!   CXL Type-3 endpoint from the `cxl` crate (wired up in `cxl-pmem`).
 //!
 //! The store is **functional**: bytes really are written, checksums really are
@@ -47,7 +49,7 @@ pub mod tx;
 
 pub use alloc::AllocStats;
 pub use array::{PersistentArray, PmemScalar};
-pub use backend::{FileBackend, PoolBackend, SharedBackend, VolatileBackend};
+pub use backend::{FileBackend, PoolBackend, SharedBackend, SharedRegionBackend, VolatileBackend};
 pub use checkpoint::{
     CheckpointCrash, CheckpointPhase, CheckpointRegion, CheckpointStats, Checkpointable,
     ChunkExecutor, SerialExecutor,

@@ -14,6 +14,9 @@
 //!   headline peak-bandwidth comparison against published DCPMM numbers.
 //! * [`analysis`] — the §4 derived claims (remote −30 %, CXL −50 %, 2–3 GB/s
 //!   fabric cost, 10–15 % PMDK overhead) recomputed from the model.
+//! * [`scenarios`] — the disaggregated-restart scenario group: cross-host
+//!   checkpoint/restart over switch-pooled far memory, with the
+//!   software-coherence discipline enforced (§1.3 pooling + §2.2 sharing).
 //! * [`dataflow`] — ASCII renderings of the setup/data-flow diagrams
 //!   (Figures 1–4 and 9).
 
@@ -24,9 +27,11 @@ pub mod analysis;
 pub mod dataflow;
 pub mod figures;
 pub mod groups;
+pub mod scenarios;
 pub mod tables;
 
 pub use analysis::Analysis;
 pub use figures::{FigureData, TrendSeries};
 pub use groups::{TestGroup, Trend};
+pub use scenarios::{disaggregation_table, RestartReport, RestartScenario};
 pub use tables::{headline_table, table1, table2};

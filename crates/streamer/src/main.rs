@@ -3,7 +3,8 @@
 //! ```text
 //! streamer figure --kernel scale [--group 1b] [--csv] [--out DIR]
 //! streamer group  1a|1b|1c|2a|2b [--kernel triad]
-//! streamer table  1|2|headline
+//! streamer table  1|2|headline|disaggregation
+//! streamer scenario restart
 //! streamer analysis
 //! streamer topology [--setup 1|2|dcpmm]
 //! streamer all --out DIR
@@ -15,7 +16,9 @@ use std::process::ExitCode;
 use stream_bench::Kernel;
 use streamer::figures::FigureData;
 use streamer::groups::TestGroup;
-use streamer::{analysis::Analysis, dataflow, headline_table, table1, table2};
+use streamer::{
+    analysis::Analysis, dataflow, disaggregation_table, headline_table, table1, table2,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,7 +34,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
+    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation>\n  streamer scenario restart\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
 }
 
 /// Parses `--key value` and `--flag` style options.
@@ -71,6 +74,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "figure" => cmd_figure(&options),
         "group" => cmd_group(&positional, &options),
         "table" => cmd_table(&positional),
+        "scenario" => cmd_scenario(&positional),
         "analysis" => cmd_analysis(),
         "topology" => cmd_topology(&options),
         "all" => cmd_all(&options),
@@ -157,10 +161,35 @@ fn cmd_table(positional: &[String]) -> Result<(), String> {
         }
         "2" => table2().map_err(|e| e.to_string())?,
         "headline" => headline_table().map_err(|e| e.to_string())?,
-        other => return Err(format!("unknown table '{other}' (use 1, 2 or headline)")),
+        "disaggregation" => disaggregation_table().map_err(|e| e.to_string())?,
+        other => {
+            return Err(format!(
+                "unknown table '{other}' (use 1, 2, headline or disaggregation)"
+            ))
+        }
     };
     println!("{}", table.to_markdown());
     Ok(())
+}
+
+fn cmd_scenario(positional: &[String]) -> Result<(), String> {
+    let which = positional.first().map(String::as_str).unwrap_or("restart");
+    match which {
+        "restart" => {
+            let report = streamer::scenarios::run_all().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                streamer::scenarios::render_table(&report).to_markdown()
+            );
+            if report.all_hold() {
+                println!("all disaggregated-restart scenarios hold");
+                Ok(())
+            } else {
+                Err("a disaggregated-restart scenario failed — see the table above".to_string())
+            }
+        }
+        other => Err(format!("unknown scenario '{other}' (use restart)")),
+    }
 }
 
 fn cmd_analysis() -> Result<(), String> {
@@ -232,6 +261,13 @@ fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
         Some(&out),
         "headline.md",
         &headline_table().map_err(|e| e.to_string())?.to_markdown(),
+    )?;
+    emit(
+        Some(&out),
+        "disaggregation.md",
+        &disaggregation_table()
+            .map_err(|e| e.to_string())?
+            .to_markdown(),
     )?;
     emit(
         Some(&out),

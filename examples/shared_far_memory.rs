@@ -1,76 +1,108 @@
-//! Two hosts sharing the same CXL far-memory segment.
+//! Cross-host checkpoint/restart over switch-pooled, shared CXL far memory.
 //!
-//! Paper §2.2: "the same far memory segment can be made available to two
-//! distinct NUMA nodes … the onus of maintaining coherency between the two
-//! NUMA nodes assigned to the shared far memory rests with the applications."
-//! This example shows that discipline: host 0 checkpoints a vector into the
-//! shared segment and *publishes*; host 1 *acquires* and reads it back —
-//! together with the CXL 2.0 switch-pooling flow that carved the segment out
-//! of a rack-level memory pool in the first place.
+//! The paper's disaggregated-HPC scenario end-to-end: a CXL 2.0 switch pools
+//! two expander cards (§1.3), a segment is carved for a compute node and
+//! exposed multi-headed (§2.2), the node checkpoints epochs into it and dies
+//! mid-commit — and a spare node attaches, *acquires* (software-managed
+//! coherence) and restores the last committed epoch bit-exact. The coherence
+//! discipline is enforced, not advisory: restoring without the acquire is a
+//! typed error instead of silently stale data.
 //!
 //! Run with: `cargo run --example shared_far_memory`
 
-use std::sync::Arc;
-use streamer_repro::cxl::{CoherenceMode, CxlSwitch, FpgaPrototype, SharedRegion};
+use streamer_repro::cxl_pmem::cluster::{
+    CheckpointCrash, CheckpointPhase, CoherenceMode, CrashPoint, SerialExecutor,
+};
+use streamer_repro::cxl_pmem::{ClusterError, CxlPmemRuntime};
+
+const DATA_LEN: u64 = 256 * 1024;
+const CHUNK_LEN: u64 = 8 * 1024;
+
+fn iteration_state(epoch: u64) -> Vec<u8> {
+    (0..DATA_LEN as usize)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(epoch as u8))
+        .collect()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A rack-level CXL 2.0 switch pools two expander cards.
-    let card0 = FpgaPrototype::paper_prototype();
-    let card1 = FpgaPrototype::paper_prototype();
-    let mut switch = CxlSwitch::new("rack-switch");
-    let port0 = switch.attach_device(card0.endpoint());
-    let _port1 = switch.attach_device(card1.endpoint());
+    // A rack-level CXL 2.0 switch pooling two expander cards, owned by the
+    // disaggregated cluster; segments use software-managed coherence.
+    let runtime = CxlPmemRuntime::setup1();
+    let cluster = runtime.disaggregated_cluster(2, CoherenceMode::SoftwareManaged);
     println!(
         "pool: {} devices, {} GiB total capacity",
-        switch.ports(),
-        switch.total_capacity() >> 30
+        cluster.ports(),
+        cluster.total_capacity() >> 30
     );
 
-    // Carve a 2 GiB segment for the two compute nodes to share.
-    let allocation = switch.allocate(/*host*/ 0, 2 << 30)?;
+    // Reserve port 0 exclusively for host 0 — the switch now refuses to hand
+    // that card's capacity to anyone else (the old example never bound).
+    cluster.bind_port(0, 0)?;
+
+    // Host 0 carves a checkpoint segment out of the pool. The segment holds a
+    // full pmem pool + versioned checkpoint region inside a shared window.
+    let mut node0 = cluster
+        .host(0)
+        .create_segment("stencil", DATA_LEN, CHUNK_LEN)?;
     println!(
-        "allocated {} GiB at dpa {:#x} on port {}",
-        allocation.len >> 30,
-        allocation.dpa_offset,
-        allocation.port
+        "host 0 carved segment '{}' ({} KiB assigned, {} GiB still unassigned)",
+        node0.name(),
+        cluster.assigned_to(0) >> 10,
+        cluster.unassigned_capacity() >> 30
     );
 
-    let region = Arc::new(SharedRegion::new(
-        switch.device(port0)?.clone(),
-        allocation.dpa_offset,
-        allocation.len,
-        CoherenceMode::SoftwareManaged,
-    )?);
-    region.attach(0);
-    region.attach(1);
+    // Host 0 commits three epochs; each commit ends in a publish.
+    for epoch in 1..=3u64 {
+        let stats = node0.checkpoint(&iteration_state(epoch))?;
+        println!(
+            "host 0 committed epoch {} ({} of {} chunks flushed)",
+            stats.epoch, stats.chunks_written, stats.chunks_total
+        );
+    }
 
-    // Host 0 writes a checkpoint and publishes it.
-    let checkpoint: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
-    region.write(0, 0, &checkpoint)?;
-    println!(
-        "host 0 wrote {} bytes (unpublished: {})",
-        checkpoint.len(),
-        region.has_unpublished_writes(0)
-    );
-    let version = region.publish(0)?;
-    println!("host 0 published version {version}");
+    // Epoch 4 dies mid-commit: the commit record is torn and — crucially —
+    // never published.
+    let err = node0
+        .checkpoint_crashing(
+            &iteration_state(4),
+            CheckpointCrash {
+                phase: CheckpointPhase::Commit,
+                point: CrashPoint::BeforeCommit,
+            },
+            &SerialExecutor,
+        )
+        .expect_err("the injected crash fires");
+    println!("host 0 died mid-commit of epoch 4: {err}");
+    drop(node0); // the compute node is gone; the pooled bytes are not
 
-    // Host 1 acquires and reads it back — software-managed coherence.
-    assert!(!region.is_up_to_date(1));
-    region.acquire(1)?;
-    let mut readback = vec![0u8; checkpoint.len()];
-    region.read(1, 0, &mut readback)?;
-    assert_eq!(readback, checkpoint);
-    println!(
-        "host 1 acquired version {} and verified the checkpoint",
-        version
-    );
+    // Host 1 (the spare node) attaches the same segment. Restoring *without*
+    // acquiring is refused — the software-coherence discipline has teeth.
+    let mut node1 = cluster.host(1).attach_segment("stencil")?;
+    let mut restored = vec![0u8; DATA_LEN as usize];
+    match node1.restore(&mut restored) {
+        Err(ClusterError::NotAcquired { host, segment }) => {
+            println!("host {host} must acquire '{segment}' first — refused as required")
+        }
+        other => panic!("stale restore must be refused, got {other:?}"),
+    }
 
-    // The pool can be re-provisioned dynamically as demand shifts.
-    switch.release(allocation.id)?;
+    // Acquire, then restore: pool recovery rolls the torn epoch-4 commit
+    // back and epoch 3 comes out bit-exact.
+    node1.acquire()?;
+    let epoch = node1.restore(&mut restored)?;
+    assert_eq!(restored, iteration_state(epoch));
+    println!("host 1 acquired and restored epoch {epoch} bit-exact");
+
+    // The spare node continues the epoch chain where the dead node left off.
+    let stats = node1.checkpoint(&iteration_state(4))?;
+    println!("host 1 continued with epoch {}", stats.epoch);
+
+    // Dynamic capacity: tearing the segment down returns its bytes to the
+    // pool.
+    cluster.release_segment("stencil")?;
     println!(
-        "released allocation; {} GiB unassigned again",
-        switch.unassigned_capacity() >> 30
+        "released segment; {} GiB unassigned again",
+        cluster.unassigned_capacity() >> 30
     );
     Ok(())
 }

@@ -39,5 +39,12 @@ mod tests {
         // reachable through the facade.
         assert_eq!(crate::pmem::CheckpointPhase::ALL.len(), 4);
         assert_eq!(crate::pmem::CrashPoint::ALL.len(), 4);
+        // So are the disaggregation subsystem and its scenario group.
+        let cluster = crate::cxl_pmem::DisaggregatedCluster::new(
+            "facade",
+            crate::cxl::CoherenceMode::SoftwareManaged,
+        );
+        assert_eq!(cluster.ports(), 0);
+        assert_eq!(crate::streamer::RestartScenario::ALL.len(), 4);
     }
 }

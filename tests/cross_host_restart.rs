@@ -1,0 +1,175 @@
+//! Cross-host restart: the disaggregated cluster's federation guarantee,
+//! proven over the full crash matrix.
+//!
+//! Host A commits epochs into a switch-pooled shared segment and is torn
+//! down by an injected crash at every `CheckpointPhase` × `CrashPoint` ×
+//! slot-parity combination; host B then attaches the same segment, acquires,
+//! and must restore a committed epoch **bit-exact** — the pre-crash one when
+//! the commit record never became durable, the new one when it did — and
+//! must be able to continue the epoch chain (post-failover liveness).
+
+use std::sync::Arc;
+use streamer_repro::cxl::{LinkConfig, Type3Device};
+use streamer_repro::cxl_pmem::cluster::{
+    CheckpointCrash, CheckpointPhase, CoherenceMode, CrashPoint, SerialExecutor,
+};
+use streamer_repro::cxl_pmem::{ClusterError, DisaggregatedCluster};
+use streamer_repro::pmem;
+
+const DATA_LEN: u64 = 16 * 1024;
+const CHUNK_LEN: u64 = 2 * 1024;
+const MIB: u64 = 1024 * 1024;
+
+fn image(epoch: u64) -> Vec<u8> {
+    (0..DATA_LEN as usize)
+        .map(|i| (i as u8).wrapping_mul(23).wrapping_add(epoch as u8))
+        .collect()
+}
+
+fn cluster() -> DisaggregatedCluster {
+    let cluster = DisaggregatedCluster::new("matrix-rack", CoherenceMode::SoftwareManaged);
+    cluster.attach_device(Arc::new(Type3Device::new(
+        "pooled-card",
+        64 * MIB,
+        LinkConfig::gen5_x16(),
+    )));
+    cluster
+}
+
+/// The epoch that must be durably committed after host A crashes at
+/// `(phase, point)` while committing epoch `pre + 1`.
+fn expected_epoch(phase: CheckpointPhase, point: CrashPoint, pre: u64) -> u64 {
+    match phase {
+        // Chunk and header crashes always abort before the commit record.
+        CheckpointPhase::ChunkFlush | CheckpointPhase::HeaderWrite => pre,
+        CheckpointPhase::Commit => match point {
+            // The commit record became durable before the crash fired.
+            CrashPoint::AfterCommit => pre + 1,
+            // DuringRecovery never fires inside a transaction: the commit
+            // (and its publish) completes cleanly.
+            CrashPoint::DuringRecovery => pre + 1,
+            _ => pre,
+        },
+        // The commit is crashed at BeforeCommit to strand the undo log; the
+        // armed recovery crash dies with host A's pool handle, and host B's
+        // fresh open rolls the record back.
+        CheckpointPhase::Recovery => pre,
+    }
+}
+
+#[test]
+fn cross_host_restore_survives_the_full_crash_matrix() {
+    let mut cases = 0;
+    for phase in CheckpointPhase::ALL {
+        for point in CrashPoint::ALL {
+            // Slot parity: crash while targeting slot 1 (pre = 1 committed
+            // epoch) and slot 0 (pre = 2).
+            for pre in [1u64, 2] {
+                cases += 1;
+                let label = format!("{phase:?}/{point:?}/pre-{pre}");
+                let cluster = cluster();
+
+                // Host A commits `pre` epochs, then the injected crash tears
+                // it down mid-commit of `pre + 1`.
+                {
+                    let mut a = cluster
+                        .host(0)
+                        .create_segment("seg", DATA_LEN, CHUNK_LEN)
+                        .unwrap();
+                    for epoch in 1..=pre {
+                        a.checkpoint(&image(epoch)).unwrap();
+                    }
+                    let crash = CheckpointCrash { phase, point };
+                    match a.checkpoint_crashing(&image(pre + 1), crash, &SerialExecutor) {
+                        Err(e) => assert!(e.is_injected_crash(), "{label}: {e}"),
+                        // The Commit × DuringRecovery cell commits cleanly.
+                        Ok(stats) => assert_eq!(stats.epoch, pre + 1, "{label}"),
+                    }
+                }
+
+                // Host B attaches, acquires, restores bit-exact.
+                let mut b = cluster.host(1).attach_segment("seg").unwrap();
+                b.acquire().unwrap();
+                let mut out = vec![0u8; DATA_LEN as usize];
+                let epoch = b.restore(&mut out).unwrap();
+                let want = expected_epoch(phase, point, pre);
+                assert_eq!(epoch, want, "{label}: wrong epoch restored");
+                assert_eq!(out, image(want), "{label}: restored bytes not bit-exact");
+
+                // Post-failover liveness: B continues the epoch chain.
+                let stats = b.checkpoint(&image(want + 1)).unwrap();
+                assert_eq!(stats.epoch, want + 1, "{label}: failover host wedged");
+            }
+        }
+    }
+    // A new CrashPoint or CheckpointPhase variant must grow this matrix.
+    assert_eq!(
+        cases,
+        CheckpointPhase::ALL.len() * CrashPoint::ALL.len() * 2,
+        "matrix must stay exhaustive"
+    );
+    assert_eq!(cases, 32);
+}
+
+#[test]
+fn unpublished_segment_restore_is_a_typed_coherence_error() {
+    let cluster = cluster();
+    // Host A writes real bytes into the segment — media-durable, flushed —
+    // but dies before its first commit ever completes, so nothing was
+    // published.
+    {
+        let mut a = cluster
+            .host(0)
+            .create_segment("seg", DATA_LEN, CHUNK_LEN)
+            .unwrap();
+        let err = a
+            .checkpoint_crashing(
+                &image(1),
+                CheckpointCrash {
+                    phase: CheckpointPhase::HeaderWrite,
+                    point: CrashPoint::AfterCommit,
+                },
+                &SerialExecutor,
+            )
+            .unwrap_err();
+        assert!(err.is_injected_crash());
+    }
+    let mut b = cluster.host(1).attach_segment("seg").unwrap();
+    b.acquire().unwrap();
+    let mut out = vec![0u8; DATA_LEN as usize];
+    // Not silent staleness, not a garbage read: a typed coherence error.
+    match b.restore(&mut out).unwrap_err() {
+        ClusterError::NeverPublished { segment } => assert_eq!(segment, "seg"),
+        other => panic!("expected NeverPublished, got {other}"),
+    }
+}
+
+#[test]
+fn restore_before_acquire_is_a_typed_coherence_error() {
+    let cluster = cluster();
+    let mut a = cluster
+        .host(0)
+        .create_segment("seg", DATA_LEN, CHUNK_LEN)
+        .unwrap();
+    a.checkpoint(&image(1)).unwrap();
+    let mut b = cluster.host(1).attach_segment("seg").unwrap();
+    let mut out = vec![0u8; DATA_LEN as usize];
+    match b.restore(&mut out).unwrap_err() {
+        ClusterError::NotAcquired { host, segment } => {
+            assert_eq!(host, 1);
+            assert_eq!(segment, "seg");
+        }
+        other => panic!("expected NotAcquired, got {other}"),
+    }
+    // The acquire unlocks exactly the published epoch.
+    b.acquire().unwrap();
+    assert_eq!(b.restore(&mut out).unwrap(), 1);
+    assert_eq!(out, image(1));
+}
+
+#[test]
+fn matrix_dimensions_are_reachable_through_the_facade() {
+    // The cross-host matrix must track the pmem crash dimensions exactly.
+    assert_eq!(pmem::CheckpointPhase::ALL.len(), 4);
+    assert_eq!(pmem::CrashPoint::ALL.len(), 4);
+}

@@ -1,5 +1,6 @@
 //! Disaggregation-oriented integration tests: switch pooling, multi-host
-//! sharing of the far-memory segment, and Memory-Mode capacity expansion.
+//! sharing of the far-memory segment, the federated cluster layer, and
+//! Memory-Mode capacity expansion.
 
 use std::sync::Arc;
 use streamer_repro::cxl::{CoherenceMode, CxlSwitch, FpgaPrototype, SharedRegion};
@@ -35,6 +36,52 @@ fn rack_pool_provisions_and_reclaims_capacity_across_hosts() {
     assert!(switch.bind_port(a.port, 1).is_err());
     switch.unbind_port(a.port).unwrap();
     switch.bind_port(b.port, 1).unwrap();
+    // A bound port is off-limits to everyone else: host 5's request must not
+    // come from host 1's card even though it has free bytes.
+    if let Ok(foreign) = switch.allocate(5, GIB) {
+        assert_ne!(foreign.port, b.port, "bound port handed to another host");
+    }
+}
+
+#[test]
+fn cluster_federates_checkpoint_restart_over_the_pool() {
+    use streamer_repro::cxl_pmem::cluster::{CoherenceMode, DisaggregatedCluster};
+
+    let cluster = DisaggregatedCluster::new("rack", CoherenceMode::SoftwareManaged);
+    for _ in 0..3 {
+        cluster.attach_device(FpgaPrototype::paper_prototype().endpoint());
+    }
+    // Reserve a card per compute node; the third card stays pooled.
+    cluster.bind_port(0, 0).unwrap();
+    cluster.bind_port(1, 1).unwrap();
+
+    let data_len = 64 * 1024u64;
+    let state: Vec<u8> = (0..data_len).map(|i| (i % 239) as u8).collect();
+
+    // Each host carves its own segment; capacity accounting stays conserved.
+    let mut seg0 = cluster
+        .host(0)
+        .create_segment("node0", data_len, 4096)
+        .unwrap();
+    let mut seg1 = cluster
+        .host(1)
+        .create_segment("node1", data_len, 4096)
+        .unwrap();
+    assert_eq!(
+        cluster.total_capacity(),
+        cluster.unassigned_capacity() + cluster.assigned_to(0) + cluster.assigned_to(1)
+    );
+    seg0.checkpoint(&state).unwrap();
+    seg1.checkpoint(&state).unwrap();
+
+    // Node 0 fails; node 2 (a spare with no binding) takes over its segment
+    // from the pooled tier.
+    drop(seg0);
+    let mut spare = cluster.host(2).attach_segment("node0").unwrap();
+    spare.acquire().unwrap();
+    let mut out = vec![0u8; data_len as usize];
+    assert_eq!(spare.restore(&mut out).unwrap(), 1);
+    assert_eq!(out, state);
 }
 
 #[test]
