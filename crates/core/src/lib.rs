@@ -30,6 +30,9 @@
 //! * [`modes::AccessMode`] — App-Direct vs Memory-Mode and their properties
 //!   (the paper's Table 1).
 //! * [`placement`] — tier selection and Memory-Mode capacity expansion.
+//! * [`tiering`] — the adaptive tiering engine: access-tracked hot/cold chunk
+//!   migration across DRAM/CXL tiers (placement as a feedback loop, not a
+//!   one-shot decision).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -39,12 +42,18 @@ pub mod cluster;
 pub mod modes;
 pub mod placement;
 pub mod runtime;
+pub mod tiering;
 
 pub use backend::CxlDeviceBackend;
 pub use cluster::{ClusterError, ClusterHost, DisaggregatedCluster, HostSegment};
 pub use modes::{AccessMode, ModeProperties};
 pub use placement::{ExpansionPlan, TierPolicy};
 pub use runtime::{CxlPmemRuntime, ManagedPool, PooledChunkExecutor, RuntimeError, SetupKind};
+pub use tiering::{
+    assignment_bandwidth, AccessTracker, BandwidthAwarePolicy, ChunkHeat, HotGreedyPolicy,
+    MigrationCrash, MigrationPhase, MigrationStats, PlanContext, StaticSpillPolicy, TierAssignment,
+    TierPlanner, TierShape, TieredRegion,
+};
 
 /// Result alias for runtime operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;

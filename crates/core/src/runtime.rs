@@ -40,6 +40,9 @@ pub enum RuntimeError {
         /// The node the tier resolved to.
         node: NodeId,
     },
+    /// A tiering operation failed (capacity shortfall, malformed assignment,
+    /// stale plan, ...).
+    Tiering(&'static str),
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,11 +64,21 @@ impl fmt::Display for RuntimeError {
                 f,
                 "tier on node {node} has no persistent backing to restore from"
             ),
+            RuntimeError::Tiering(msg) => write!(f, "tiering error: {msg}"),
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+impl RuntimeError {
+    /// Whether this error wraps the crash-injection sentinel (the tiering
+    /// migrator and checkpoint pipelines surface injected crashes through
+    /// the persistent store).
+    pub fn is_injected_crash(&self) -> bool {
+        matches!(self, RuntimeError::Pmem(e) if e.is_injected_crash())
+    }
+}
 
 impl From<SimError> for RuntimeError {
     fn from(e: SimError) -> Self {
@@ -127,6 +140,15 @@ impl ManagedPool {
     /// The paper-style mount label (`/mnt/pmemN`).
     pub fn mount(&self) -> &str {
         &self.mount
+    }
+}
+
+impl ManagedPool {
+    /// Decomposes the managed pool into its parts — used by long-lived
+    /// owners (the tiering subsystem) that need shared ownership of the
+    /// [`PmemPool`] rather than a borrow.
+    pub fn into_parts(self) -> (PmemPool, NodeId, String) {
+        (self.pool, self.node, self.mount)
     }
 }
 
@@ -438,6 +460,42 @@ impl CxlPmemRuntime {
             cluster.attach_device(FpgaPrototype::paper_prototype().endpoint());
         }
         cluster
+    }
+
+    // -------------------------------------------------------------- tiering
+
+    /// Provisions an adaptive [`TieredRegion`](crate::tiering::TieredRegion):
+    /// one pool per `(tier, capacity_budget_bytes)` entry (fastest tier
+    /// first), `data_len` bytes of chunked payload at `chunk_len` granularity,
+    /// an access tracker feeding the rebalance loop, and a durable chunk
+    /// residency map (in the *last* tier's pool — the spill tier, the CXL
+    /// expander in the canonical setup). Initial placement is static spill:
+    /// chunks fill the tiers in order, exactly like
+    /// [`ExpansionPlan::spill`](crate::placement::ExpansionPlan::spill).
+    pub fn tiered_region(
+        &self,
+        tiers: &[(TierPolicy, u64)],
+        layout: &str,
+        data_len: u64,
+        chunk_len: u64,
+    ) -> crate::Result<crate::tiering::TieredRegion> {
+        crate::tiering::TieredRegion::provision(self, tiers, layout, data_len, chunk_len)
+    }
+
+    /// One turn of the tiering feedback loop: snapshot `region`'s access
+    /// heat, ask `planner` for a new chunk placement (the planner sees this
+    /// runtime's engine for bandwidth-aware decisions), migrate the chunks
+    /// that moved — fanned across the resident `workers` with one flush batch
+    /// per worker and one drain per destination tier — and decay the tracker
+    /// so stale heat fades over subsequent epochs.
+    pub fn rebalance(
+        &self,
+        region: &mut crate::tiering::TieredRegion,
+        planner: &dyn crate::tiering::TierPlanner,
+        workers: &PinnedPool,
+    ) -> crate::Result<crate::tiering::MigrationStats> {
+        let cpus: Vec<usize> = workers.workers().iter().map(|w| w.cpu).collect();
+        region.rebalance_with(planner, self.engine(), &cpus, &PooledChunkExecutor(workers))
     }
 
     // -------------------------------------------------------------- accounting

@@ -504,6 +504,36 @@ impl Engine {
     pub fn simulate_all(&self, phases: &[TrafficPhase]) -> Result<Vec<PhaseReport>> {
         phases.iter().map(|p| self.simulate(p)).collect()
     }
+
+    /// Estimates what one bulk chunk migration costs: `cpus` cooperatively
+    /// stream `bytes` out of node `from` and into node `to` (a read-only
+    /// phase against the source overlapped with a write-only phase against
+    /// the destination). Both devices and every link on either path
+    /// participate, so moving data *onto* the expander is priced at the
+    /// expander's write ceiling — the number the tiering migrator weighs a
+    /// rebalance against.
+    pub fn migration_cost(
+        &self,
+        cpus: &[usize],
+        from: usize,
+        to: usize,
+        bytes: u64,
+    ) -> Result<PhaseReport> {
+        let lanes = cpus.len().max(1) as u64;
+        let share = bytes / lanes;
+        let remainder = bytes - share * lanes;
+        let traffic = cpus.iter().enumerate().flat_map(|(i, &cpu)| {
+            let extra = if i == 0 { remainder } else { 0 };
+            [
+                crate::access::ThreadTraffic::sequential(cpu, from, share + extra, 0),
+                crate::access::ThreadTraffic::sequential(cpu, to, 0, share + extra),
+            ]
+        });
+        self.simulate(&TrafficPhase::from_threads(
+            format!("migrate node{from}->node{to}"),
+            traffic,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -739,6 +769,38 @@ mod tests {
         e.simulate_cached(&p).unwrap();
         clone.simulate_cached(&p).unwrap();
         assert_eq!(e.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn migration_cost_prices_the_slow_direction() {
+        let e = engine();
+        let cpus: Vec<usize> = (0..4).collect();
+        let onto_cxl = e.migration_cost(&cpus, 0, 2, 4 * GB).unwrap();
+        let onto_remote = e.migration_cost(&cpus, 0, 1, 4 * GB).unwrap();
+        let local_copy = e.migration_cost(&cpus, 0, 0, 4 * GB).unwrap();
+        // Writing into the expander is priced at its ~11 GB/s ceiling, well
+        // below a DRAM destination; a same-node copy funnels reads *and*
+        // writes through one DIMM, so it is slower than the two-device
+        // remote move but still far faster than the expander path.
+        assert!(onto_cxl.seconds > onto_remote.seconds);
+        assert!(onto_cxl.seconds > local_copy.seconds);
+        assert!(local_copy.seconds > onto_remote.seconds);
+        // Both endpoints show up in the resource breakdown.
+        assert!(onto_cxl.resources.len() >= 2);
+        assert_eq!(onto_cxl.payload_bytes, 8 * GB, "read + write accounting");
+    }
+
+    #[test]
+    fn migration_cost_scales_linearly_and_splits_remainders() {
+        let e = engine();
+        let cpus: Vec<usize> = (0..3).collect();
+        let one = e.migration_cost(&cpus, 0, 2, GB + 1).unwrap();
+        let two = e.migration_cost(&cpus, 0, 2, 2 * (GB + 1)).unwrap();
+        let ratio = two.seconds / one.seconds;
+        assert!((ratio - 2.0).abs() < 1e-3, "ratio {ratio}");
+        assert_eq!(one.payload_bytes, 2 * (GB + 1));
+        assert!(e.migration_cost(&[], 0, 2, GB).is_ok(), "no cpus, no panic");
+        assert!(e.migration_cost(&cpus, 0, 9, GB).is_err());
     }
 
     proptest! {

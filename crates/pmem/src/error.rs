@@ -58,6 +58,9 @@ pub enum PmemError {
     /// A checkpoint region operation failed (bad descriptor, no committed
     /// epoch, snapshot length mismatch, ...).
     Checkpoint(&'static str),
+    /// A chunk-residency map operation failed (bad header, out-of-range tier,
+    /// stale migration source, ...).
+    Residency(&'static str),
 }
 
 impl fmt::Display for PmemError {
@@ -96,6 +99,7 @@ impl fmt::Display for PmemError {
             PmemError::Io(e) => write!(f, "I/O error: {e}"),
             PmemError::SizeOverflow => write!(f, "requested size overflows the pool address space"),
             PmemError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            PmemError::Residency(msg) => write!(f, "residency error: {msg}"),
         }
     }
 }

@@ -22,6 +22,9 @@
 //!   epoch-versioned snapshot slots with incremental dirty-chunk persists and
 //!   a transactional commit record; validated by an exhaustive crash matrix
 //!   (`tests/crash_matrix.rs`).
+//! * [`residency`] — the durable chunk → tier table the adaptive tiering
+//!   engine commits its migrations through (the undo log is the migration
+//!   record, so a crash mid-migration rolls back to the source tier).
 //! * [`persist`] — flush/drain primitives with instrumentation counters, the
 //!   stand-ins for `CLWB`/`SFENCE` (or the `pmem_persist` libpmem call).
 //! * [`backend`] — where the bytes actually live: a volatile buffer, a file
@@ -45,6 +48,7 @@ pub mod error;
 pub mod oid;
 pub mod persist;
 pub mod pool;
+pub mod residency;
 pub mod tx;
 
 pub use alloc::AllocStats;
@@ -58,6 +62,7 @@ pub use error::PmemError;
 pub use oid::{PmemOid, TypedOid};
 pub use persist::PersistStats;
 pub use pool::{PmemPool, PoolConfig};
+pub use residency::ResidencyMap;
 pub use tx::{CrashPoint, Transaction};
 
 /// Result alias for persistent-memory operations.

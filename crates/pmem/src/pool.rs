@@ -136,9 +136,10 @@ impl Header {
     }
 }
 
-/// FNV-1a hash used for the header checksum (and by the checkpoint module for
-/// slot-header checksums and chunk content hashes).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a hash used for the header checksum, the checkpoint module's
+/// slot-header checksums and chunk content hashes, and the tiering engine's
+/// chunk-conservation hashes — one definition for every on-pool content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;

@@ -1,0 +1,341 @@
+//! Durable chunk-residency map: which tier each chunk of a tiered data set
+//! lives on, with migration records committed through the existing undo log.
+//!
+//! The adaptive tiering engine (`cxl-pmem`'s `tiering` module) moves chunks
+//! between tier pools while the application keeps reading them. The one piece
+//! of state that must never tear is the answer to "which tier holds chunk
+//! `i` right now?" — a torn answer would make a chunk readable from zero or
+//! two tiers. [`ResidencyMap`] stores that answer inside a pool (in practice
+//! the persistent spill tier, so it survives a crash together with the data),
+//! and commits every migration through [`PmemPool::run_tx`]:
+//!
+//! 1. the migrator copies the chunk's bytes into the destination tier and
+//!    makes them durable (`flush` batches + one `drain`) — the destination is
+//!    a *shadow* copy, invisible to readers;
+//! 2. the residency entry is flipped from the source to the destination tier
+//!    inside a pool transaction, so the existing [`TxLog`] machinery is the
+//!    migration record: a crash before the commit record clears leaves an
+//!    active undo log, and recovery rolls the entry back to the source tier.
+//!
+//! At every instant, committed state names **exactly one** tier per chunk and
+//! that tier holds the chunk's committed bytes: before the flip the source is
+//! authoritative (the shadow copy is ignored), after the flip the destination
+//! is. There is no in-between.
+//!
+//! [`TxLog`]: crate::tx::TxLog
+
+use crate::error::PmemError;
+use crate::oid::PmemOid;
+use crate::pool::PmemPool;
+use crate::Result;
+use std::sync::Arc;
+
+/// Residency-map magic ("TIERRMAP").
+pub const RESIDENCY_MAGIC: u64 = 0x5449_4552_524D_4150;
+/// Residency-map format version.
+pub const RESIDENCY_VERSION: u32 = 1;
+/// Bytes of the map header (magic, version, chunk_count, tier_count).
+const MAP_HEADER: u64 = 32;
+/// Bytes per chunk entry (a little-endian `u32` tier index).
+const ENTRY: u64 = 4;
+
+/// A durable chunk → tier table living inside a pool.
+///
+/// The map owns a shared handle on its pool (like
+/// [`CheckpointRegion::open_root_shared`](crate::CheckpointRegion::open_root_shared))
+/// so long-lived tiering state can hold the map and the pool together.
+pub struct ResidencyMap {
+    pool: Arc<PmemPool>,
+    base: u64,
+    chunks: usize,
+    tier_count: u32,
+}
+
+impl std::fmt::Debug for ResidencyMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidencyMap")
+            .field("base", &self.base)
+            .field("chunks", &self.chunks)
+            .field("tier_count", &self.tier_count)
+            .finish()
+    }
+}
+
+impl ResidencyMap {
+    /// Bytes the map occupies inside a pool for `chunks` entries.
+    pub fn map_size(chunks: usize) -> u64 {
+        MAP_HEADER + chunks as u64 * ENTRY
+    }
+
+    /// Formats a fresh map holding `initial[i]` as chunk `i`'s tier; every
+    /// entry must be below `tier_count`.
+    pub fn format(pool: Arc<PmemPool>, tier_count: u32, initial: &[u32]) -> Result<Self> {
+        if tier_count == 0 || initial.is_empty() {
+            return Err(PmemError::Residency(
+                "residency map needs at least one tier and one chunk",
+            ));
+        }
+        if initial.iter().any(|&t| t >= tier_count) {
+            return Err(PmemError::Residency("initial tier index out of range"));
+        }
+        let oid = pool.alloc_bytes(Self::map_size(initial.len()))?;
+        let base = oid.offset;
+        let mut header = [0u8; MAP_HEADER as usize];
+        header[0..8].copy_from_slice(&RESIDENCY_MAGIC.to_le_bytes());
+        header[8..12].copy_from_slice(&RESIDENCY_VERSION.to_le_bytes());
+        header[16..24].copy_from_slice(&(initial.len() as u64).to_le_bytes());
+        header[24..28].copy_from_slice(&tier_count.to_le_bytes());
+        pool.write(base, &header)?;
+        let mut entries = vec![0u8; initial.len() * ENTRY as usize];
+        for (i, &tier) in initial.iter().enumerate() {
+            entries[i * 4..i * 4 + 4].copy_from_slice(&tier.to_le_bytes());
+        }
+        pool.write(base + MAP_HEADER, &entries)?;
+        pool.persist(base, Self::map_size(initial.len()))?;
+        Ok(ResidencyMap {
+            pool,
+            base,
+            chunks: initial.len(),
+            tier_count,
+        })
+    }
+
+    /// Opens an existing map at `oid` (typically after a pool reopen —
+    /// [`PmemPool::open_with_backend`] has already replayed any interrupted
+    /// migration record by then).
+    pub fn open(pool: Arc<PmemPool>, oid: PmemOid) -> Result<Self> {
+        let base = oid.offset;
+        let mut header = [0u8; MAP_HEADER as usize];
+        pool.read(base, &mut header)?;
+        let read64 = |at: usize| {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&header[at..at + 8]);
+            u64::from_le_bytes(buf)
+        };
+        if read64(0) != RESIDENCY_MAGIC {
+            return Err(PmemError::Residency("residency map magic mismatch"));
+        }
+        let version = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+        if version != RESIDENCY_VERSION {
+            return Err(PmemError::Residency("unsupported residency map version"));
+        }
+        let chunks = read64(16) as usize;
+        let tier_count = u32::from_le_bytes([header[24], header[25], header[26], header[27]]);
+        if chunks == 0 || tier_count == 0 {
+            return Err(PmemError::Residency("corrupt residency map header"));
+        }
+        Ok(ResidencyMap {
+            pool,
+            base,
+            chunks,
+            tier_count,
+        })
+    }
+
+    /// Opens the map registered as the pool's root object.
+    pub fn open_root(pool: Arc<PmemPool>) -> Result<Self> {
+        let (oid, _) = pool
+            .root()
+            .ok_or(PmemError::Residency("pool has no root residency map"))?;
+        Self::open(pool, oid)
+    }
+
+    /// The map's object id (store it in the pool root to reopen later).
+    pub fn oid(&self) -> PmemOid {
+        PmemOid::new(self.pool.uuid(), self.base)
+    }
+
+    /// The pool holding the map.
+    pub fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    /// Number of chunks tracked.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks
+    }
+
+    /// Number of tiers entries may name.
+    pub fn tier_count(&self) -> u32 {
+        self.tier_count
+    }
+
+    fn entry_off(&self, chunk: usize) -> Result<u64> {
+        if chunk >= self.chunks {
+            return Err(PmemError::Residency("chunk index out of range"));
+        }
+        Ok(self.base + MAP_HEADER + chunk as u64 * ENTRY)
+    }
+
+    /// The tier currently holding `chunk`.
+    pub fn tier_of(&self, chunk: usize) -> Result<u32> {
+        let off = self.entry_off(chunk)?;
+        let mut buf = [0u8; 4];
+        self.pool.read(off, &mut buf)?;
+        let tier = u32::from_le_bytes(buf);
+        if tier >= self.tier_count {
+            return Err(PmemError::Residency("residency entry out of range"));
+        }
+        Ok(tier)
+    }
+
+    /// Every chunk's tier, in chunk order.
+    pub fn tiers(&self) -> Result<Vec<u32>> {
+        (0..self.chunks).map(|c| self.tier_of(c)).collect()
+    }
+
+    /// Chunks resident on each tier (index = tier).
+    pub fn counts(&self) -> Result<Vec<usize>> {
+        let mut counts = vec![0usize; self.tier_count as usize];
+        for tier in self.tiers()? {
+            counts[tier as usize] += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Commits one migration record: chunk `chunk` moves `from → to`. The
+    /// update runs inside a pool transaction, so a crash mid-commit is rolled
+    /// back to `from` by recovery — the chunk is never resident on zero or
+    /// two tiers. Fails if the entry no longer names `from` (a stale plan).
+    pub fn commit_move(&self, chunk: usize, from: u32, to: u32) -> Result<()> {
+        if to >= self.tier_count {
+            return Err(PmemError::Residency("destination tier out of range"));
+        }
+        let current = self.tier_of(chunk)?;
+        if current != from {
+            return Err(PmemError::Residency(
+                "migration source does not match current residency",
+            ));
+        }
+        let off = self.entry_off(chunk)?;
+        self.pool.run_tx(|tx| tx.write(off, &to.to_le_bytes()))
+    }
+
+    /// Runs undo-log recovery on the underlying pool (normally done by pool
+    /// open); a migration record stranded by a crash rolls the entry back to
+    /// its source tier. Returns `true` if there was anything to roll back.
+    pub fn recover(&self) -> Result<bool> {
+        self.pool.recover()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{SharedBackend, VolatileBackend};
+    use crate::tx::CrashPoint;
+    use proptest::prelude::*;
+
+    const POOL_SIZE: u64 = 2 * 1024 * 1024;
+
+    fn shared_pool() -> (VolatileBackend, Arc<PmemPool>) {
+        let backend = VolatileBackend::new_persistent(POOL_SIZE);
+        let shared: SharedBackend = Arc::new(backend.clone());
+        let pool = Arc::new(PmemPool::create_with_backend(shared, "tier").unwrap());
+        (backend, pool)
+    }
+
+    #[test]
+    fn format_open_round_trip() {
+        let (backend, pool) = shared_pool();
+        let initial = [0u32, 0, 1, 2, 1, 0];
+        let map = ResidencyMap::format(Arc::clone(&pool), 3, &initial).unwrap();
+        pool.set_root(map.oid(), ResidencyMap::map_size(initial.len()))
+            .unwrap();
+        assert_eq!(map.chunk_count(), 6);
+        assert_eq!(map.tier_count(), 3);
+        assert_eq!(map.tiers().unwrap(), initial);
+        assert_eq!(map.counts().unwrap(), vec![3, 2, 1]);
+        drop(map);
+        drop(pool);
+
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = Arc::new(PmemPool::open_with_backend(shared, "tier").unwrap());
+        let map = ResidencyMap::open_root(reopened).unwrap();
+        assert_eq!(map.tiers().unwrap(), initial);
+    }
+
+    #[test]
+    fn bad_shapes_are_rejected() {
+        let (_, pool) = shared_pool();
+        assert!(ResidencyMap::format(Arc::clone(&pool), 0, &[0]).is_err());
+        assert!(ResidencyMap::format(Arc::clone(&pool), 2, &[]).is_err());
+        assert!(ResidencyMap::format(Arc::clone(&pool), 2, &[0, 2]).is_err());
+        let map = ResidencyMap::format(Arc::clone(&pool), 2, &[0, 1]).unwrap();
+        assert!(map.tier_of(2).is_err());
+        assert!(map.commit_move(0, 0, 2).is_err());
+    }
+
+    #[test]
+    fn commit_move_flips_exactly_one_entry_and_validates_the_source() {
+        let (_, pool) = shared_pool();
+        let map = ResidencyMap::format(Arc::clone(&pool), 3, &[0, 0, 0, 0]).unwrap();
+        map.commit_move(2, 0, 1).unwrap();
+        assert_eq!(map.tiers().unwrap(), vec![0, 0, 1, 0]);
+        // A plan computed against stale residency is refused.
+        assert!(map.commit_move(2, 0, 2).is_err());
+        assert_eq!(map.tier_of(2).unwrap(), 1);
+    }
+
+    #[test]
+    fn crash_mid_commit_rolls_the_record_back() {
+        let (_, pool) = shared_pool();
+        let map = ResidencyMap::format(Arc::clone(&pool), 2, &[0, 0]).unwrap();
+        map.commit_move(0, 0, 1).unwrap();
+        // Tear the next migration record before its commit clears the log.
+        pool.set_crash_point(Some(CrashPoint::BeforeCommit));
+        assert!(map.commit_move(1, 0, 1).unwrap_err().is_injected_crash());
+        assert!(pool.tx_log_active().unwrap(), "stranded migration record");
+        assert!(map.recover().unwrap());
+        // The torn move rolled back; the earlier committed one survives.
+        assert_eq!(map.tiers().unwrap(), vec![1, 0]);
+        // The map stays usable: the same move now commits cleanly.
+        map.commit_move(1, 0, 1).unwrap();
+        assert_eq!(map.tiers().unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn committed_move_survives_reopen() {
+        let (backend, pool) = shared_pool();
+        let map = ResidencyMap::format(Arc::clone(&pool), 2, &[0, 0, 0]).unwrap();
+        pool.set_root(map.oid(), ResidencyMap::map_size(3)).unwrap();
+        map.commit_move(1, 0, 1).unwrap();
+        pool.set_crash_point(Some(CrashPoint::BeforeCommit));
+        assert!(map.commit_move(2, 0, 1).unwrap_err().is_injected_crash());
+        drop(map);
+        drop(pool);
+
+        // Pool open replays the stranded record: chunk 2 is back on tier 0,
+        // chunk 1 keeps its committed destination.
+        let shared: SharedBackend = Arc::new(backend);
+        let reopened = Arc::new(PmemPool::open_with_backend(shared, "tier").unwrap());
+        let map = ResidencyMap::open_root(reopened).unwrap();
+        assert_eq!(map.tiers().unwrap(), vec![0, 1, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_moves_conserve_chunks(
+            chunks in 1usize..24,
+            tiers in 1u32..5,
+            moves in proptest::collection::vec(any::<u64>(), 0..32),
+        ) {
+            let (_, pool) = shared_pool();
+            let initial: Vec<u32> = (0..chunks).map(|i| i as u32 % tiers).collect();
+            let map = ResidencyMap::format(Arc::clone(&pool), tiers, &initial).unwrap();
+            for seed in moves {
+                let chunk = (seed % chunks as u64) as usize;
+                let to = ((seed >> 8) % tiers as u64) as u32;
+                let from = map.tier_of(chunk).unwrap();
+                map.commit_move(chunk, from, to).unwrap();
+            }
+            // Every chunk still resident on exactly one in-range tier.
+            let all = map.tiers().unwrap();
+            prop_assert_eq!(all.len(), chunks);
+            prop_assert!(all.iter().all(|&t| t < tiers));
+            prop_assert_eq!(map.counts().unwrap().iter().sum::<usize>(), chunks);
+        }
+    }
+}

@@ -47,10 +47,58 @@
 
 #![allow(unsafe_code)]
 
+use crate::kernels::Kernel;
 use numa::{chunk_for, PinnedPool, WorkerCtx};
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Observer of per-worker access windows on the STREAM hot path — the
+/// sampling hook the adaptive tiering engine's `AccessTracker` plugs into.
+///
+/// Byte spans are element offsets scaled to bytes (`element × 8` for the
+/// `f64` STREAM arrays): the three arrays share one logical index space, so
+/// a tiering chunk covers the same element range of `a`, `b` and `c`.
+/// Implementations must be cheap — they run inside every worker's kernel
+/// window, and `BENCH_tiering.json` holds the whole hook under a 5 % hot-path
+/// overhead budget in CI.
+pub trait AccessSink: Send + Sync {
+    /// Records a read of the byte span `[lo, hi)`.
+    fn record_read(&self, lo: u64, hi: u64);
+    /// Records a write of the byte span `[lo, hi)`.
+    fn record_write(&self, lo: u64, hi: u64);
+}
+
+impl AccessSink for cxl_pmem::AccessTracker {
+    fn record_read(&self, lo: u64, hi: u64) {
+        cxl_pmem::AccessTracker::record_read(self, lo, hi);
+    }
+
+    fn record_write(&self, lo: u64, hi: u64) {
+        cxl_pmem::AccessTracker::record_write(self, lo, hi);
+    }
+}
+
+/// Records one `kernel` invocation over the element window `[lo, hi)` into
+/// `sink` using STREAM's byte-accounting rules — one read per input array the
+/// kernel consumes, one write for its output array. The single definition
+/// both hot paths share: the in-place engine samples through
+/// [`ArrayChunk::record_access`], the staged STREAM-PMem path calls it with
+/// its worker window directly, so volatile and pmem heat stay comparable.
+pub fn record_kernel_span(sink: &dyn AccessSink, kernel: Kernel, lo: usize, hi: usize) {
+    if lo >= hi {
+        return;
+    }
+    let byte_lo = lo as u64 * 8;
+    let byte_hi = hi as u64 * 8;
+    let (reads_a, reads_b, reads_c) = kernel.reads();
+    for reads in [reads_a, reads_b, reads_c] {
+        if reads {
+            sink.record_read(byte_lo, byte_hi);
+        }
+    }
+    sink.record_write(byte_lo, byte_hi);
+}
 
 /// Three equal-length `f64` arrays partitioned into per-worker windows.
 ///
@@ -97,6 +145,14 @@ impl ArrayChunk<'_> {
     /// Whether the window is empty (more workers than elements).
     pub fn is_empty(&self) -> bool {
         self.lo == self.hi
+    }
+
+    /// Samples this window's traffic for one `kernel` invocation into `sink`:
+    /// one read record per input array the kernel consumes, one write record
+    /// for its output array — the byte accounting STREAM itself uses, at the
+    /// worker-window granularity the tiering planners want.
+    pub fn record_access(&self, sink: &dyn AccessSink, kernel: Kernel) {
+        record_kernel_span(sink, kernel, self.lo, self.hi);
     }
 }
 

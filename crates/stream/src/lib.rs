@@ -10,7 +10,9 @@
 //!   analytic validation values from the reference implementation.
 //! * [`exec`] — the zero-copy parallel execution engine: per-worker disjoint
 //!   `&mut` windows over the three arrays and reusable per-worker scratch,
-//!   with the soundness argument documented at the module level.
+//!   with the soundness argument documented at the module level. Its
+//!   [`exec::AccessSink`] hook samples every worker window into the adaptive
+//!   tiering engine's per-chunk heat counters.
 //! * [`volatile`] — STREAM over ordinary heap arrays, parallelised with the
 //!   affinity-aware [`numa::PinnedPool`].
 //! * [`pmem_stream`] — STREAM-PMem over [`pmem::PersistentArray`]s living in a
@@ -52,7 +54,7 @@ pub mod report;
 pub mod runner;
 pub mod volatile;
 
-pub use exec::{ArrayChunk, ChunkedArrays, PerWorker};
+pub use exec::{AccessSink, ArrayChunk, ChunkedArrays, PerWorker};
 pub use kernels::{Kernel, StreamArray, StreamConfig};
 pub use pmem_stream::PmemStream;
 pub use report::{BandwidthReport, KernelMeasurement};

@@ -19,11 +19,12 @@
 //! [`PerWorker`] slots on every `run` (and every epoch within a run) instead
 //! of getting freshly allocated staging buffers per call.
 
-use crate::exec::PerWorker;
+use crate::exec::{AccessSink, PerWorker};
 use crate::kernels::{Kernel, StreamArray, StreamConfig};
 use crate::report::{BandwidthReport, KernelMeasurement};
 use numa::{PinnedPool, WorkerCtx};
 use pmem::{PersistentArray, PmemPool, Result as PmemResult, TypedOid};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-worker staging buffers, reused across every kernel invocation of
@@ -56,6 +57,8 @@ pub struct PmemStream<'p> {
     /// by resident worker `t` on every epoch. Re-sized lazily when a run uses
     /// a pool with a different worker count.
     scratch: PerWorker<Scratch>,
+    /// Optional access-sampling sink (the tiering engine's heat counters).
+    tracker: Option<Arc<dyn AccessSink>>,
 }
 
 /// The pool-root record STREAM-PMem stores so a restarted run can reattach to
@@ -90,6 +93,7 @@ impl<'p> PmemStream<'p> {
             b,
             c,
             scratch: PerWorker::new(0, |_| Scratch::default()),
+            tracker: None,
         })
     }
 
@@ -102,7 +106,14 @@ impl<'p> PmemStream<'p> {
             b: PersistentArray::from_oid(pool, root.b),
             c: PersistentArray::from_oid(pool, root.c),
             scratch: PerWorker::new(0, |_| Scratch::default()),
+            tracker: None,
         }
+    }
+
+    /// Attaches (or detaches) an access-sampling sink — every worker's staged
+    /// window is recorded with the same byte accounting as the in-place path.
+    pub fn set_tracker(&mut self, tracker: Option<Arc<dyn AccessSink>>) {
+        self.tracker = tracker;
     }
 
     /// The oids of the three arrays, to be stored via the pool root object.
@@ -159,7 +170,11 @@ impl<'p> PmemStream<'p> {
                     StreamArray::C => (&self.c, &s.c),
                 };
                 output.store_slice(lo as u64, buf)?;
-                output.flush(lo as u64, len as u64)
+                output.flush(lo as u64, len as u64)?;
+                if let Some(sink) = &self.tracker {
+                    crate::exec::record_kernel_span(sink.as_ref(), kernel, lo, hi);
+                }
+                Ok(())
             })
         });
         for result in results {
@@ -341,6 +356,33 @@ mod tests {
         };
         let reattached = PmemStream::reattach(&pool, config, root);
         assert!(reattached.validate().unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn attached_tracker_samples_the_staged_hot_path() {
+        use std::sync::Arc;
+
+        let pool = pmem_pool(8 * 1024 * 1024);
+        let elements = sz(8_192);
+        let config = StreamConfig::small(elements);
+        let tracker = Arc::new(cxl_pmem::AccessTracker::new(elements as u64 * 8, 2048));
+        let mut stream = PmemStream::initiate(&pool, config).unwrap();
+        stream.set_tracker(Some(tracker.clone()));
+        stream.run(&worker_pool(4)).unwrap();
+        assert!(stream.validate().unwrap() < 1e-12);
+        let heat = tracker.heat();
+        let span = elements as u64 * 8;
+        let ntimes = config.ntimes as u64;
+        assert_eq!(
+            heat.iter().map(|h| h.read_bytes).sum::<u64>(),
+            ntimes * span * 6,
+            "Copy+Scale read once, Add+Triad read twice"
+        );
+        assert_eq!(
+            heat.iter().map(|h| h.write_bytes).sum::<u64>(),
+            ntimes * span * 4
+        );
+        assert!(heat.iter().all(|h| h.total() > 0));
     }
 
     #[test]

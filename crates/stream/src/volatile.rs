@@ -1,9 +1,10 @@
 //! STREAM over ordinary heap arrays (the Memory-Mode / CC-NUMA flavour).
 
-use crate::exec::run_partitioned;
+use crate::exec::{run_partitioned, AccessSink};
 use crate::kernels::{Kernel, StreamConfig};
 use crate::report::{BandwidthReport, KernelMeasurement};
 use numa::PinnedPool;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A STREAM instance over three heap-allocated `f64` arrays.
@@ -12,11 +13,16 @@ use std::time::Instant;
 /// disjoint `&mut [f64]` window of the three arrays via
 /// [`crate::exec::ChunkedArrays`], so an invocation moves exactly the bytes
 /// STREAM's counting rules say it moves — no copy-out/copy-back, no locks.
+///
+/// An optional [`AccessSink`] samples every worker window (reads per input
+/// array, one write for the output array), feeding the adaptive tiering
+/// engine's per-chunk heat counters without changing the data path.
 pub struct VolatileStream {
     config: StreamConfig,
     a: Vec<f64>,
     b: Vec<f64>,
     c: Vec<f64>,
+    tracker: Option<Arc<dyn AccessSink>>,
 }
 
 impl VolatileStream {
@@ -28,6 +34,7 @@ impl VolatileStream {
             a: vec![2.0; config.elements],
             b: vec![2.0; config.elements],
             c: vec![0.0; config.elements],
+            tracker: None,
         }
     }
 
@@ -36,10 +43,17 @@ impl VolatileStream {
         self.config
     }
 
+    /// Attaches (or detaches) an access-sampling sink — typically the tiering
+    /// engine's `AccessTracker`. Every subsequent worker window is recorded.
+    pub fn set_tracker(&mut self, tracker: Option<Arc<dyn AccessSink>>) {
+        self.tracker = tracker;
+    }
+
     /// Runs one kernel invocation in place across the pool; returns the
     /// elapsed wall-clock seconds.
     fn run_kernel_once(&mut self, kernel: Kernel, pool: &PinnedPool) -> f64 {
         let scalar = self.config.scalar;
+        let tracker = self.tracker.clone();
         let start = Instant::now();
         run_partitioned(
             pool,
@@ -48,6 +62,9 @@ impl VolatileStream {
             &mut self.c,
             |_ctx, chunk| {
                 kernel.apply(chunk.a, chunk.b, chunk.c, scalar);
+                if let Some(sink) = &tracker {
+                    chunk.record_access(sink.as_ref(), kernel);
+                }
             },
         );
         start.elapsed().as_secs_f64()
@@ -173,6 +190,38 @@ mod tests {
         stream.run(&pool(2));
         stream.corrupt_c(elements / 2, -1.0e9);
         assert!(stream.validate() > 1e-3);
+    }
+
+    #[test]
+    fn attached_tracker_sees_stream_byte_accounting() {
+        use std::sync::Arc;
+
+        let elements = sz(16_384);
+        let tracker = Arc::new(cxl_pmem::AccessTracker::new(
+            elements as u64 * 8,
+            4096, // tiering-chunk granularity, unrelated to worker windows
+        ));
+        let mut stream = VolatileStream::new(StreamConfig::small(elements));
+        stream.set_tracker(Some(tracker.clone()));
+        let report = stream.run(&pool(4));
+        assert!(stream.validate() < 1e-12, "sampling must not perturb data");
+        assert_eq!(report.measurements().len(), 4 * 3);
+        // ntimes × ALL kernels: every byte of the span read 1 (Copy/Scale)
+        // or 2 (Add/Triad) times and written once per invocation.
+        let heat = tracker.heat();
+        let total_read: u64 = heat.iter().map(|h| h.read_bytes).sum();
+        let total_written: u64 = heat.iter().map(|h| h.write_bytes).sum();
+        let span = elements as u64 * 8;
+        let ntimes = 3u64;
+        assert_eq!(total_read, ntimes * span * (1 + 1 + 2 + 2));
+        assert_eq!(total_written, ntimes * span * 4);
+        // Every chunk participated (uniform sweep → uniform heat).
+        assert!(heat.iter().all(|h| h.total() > 0));
+        // Detaching stops the sampling.
+        stream.set_tracker(None);
+        stream.run(&pool(4));
+        let after: u64 = tracker.heat().iter().map(|h| h.total()).sum();
+        assert_eq!(after, total_read + total_written);
     }
 
     #[test]

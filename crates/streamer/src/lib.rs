@@ -17,6 +17,10 @@
 //! * [`scenarios`] — the disaggregated-restart scenario group: cross-host
 //!   checkpoint/restart over switch-pooled far memory, with the
 //!   software-coherence discipline enforced (§1.3 pooling + §2.2 sharing).
+//! * [`tiering`] — the adaptive-tiering scenario group: the 16→76 GiB
+//!   expansion sweep under static-spill vs adaptive chunk-placement policies,
+//!   with the "adaptive matches or beats static at every size" verdict CI
+//!   enforces.
 //! * [`dataflow`] — ASCII renderings of the setup/data-flow diagrams
 //!   (Figures 1–4 and 9).
 
@@ -29,9 +33,11 @@ pub mod figures;
 pub mod groups;
 pub mod scenarios;
 pub mod tables;
+pub mod tiering;
 
 pub use analysis::Analysis;
 pub use figures::{FigureData, TrendSeries};
 pub use groups::{TestGroup, Trend};
 pub use scenarios::{disaggregation_table, RestartReport, RestartScenario};
 pub use tables::{headline_table, table1, table2};
+pub use tiering::{tiering_table, TieringPoint, TieringReport};

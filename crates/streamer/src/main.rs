@@ -3,8 +3,8 @@
 //! ```text
 //! streamer figure --kernel scale [--group 1b] [--csv] [--out DIR]
 //! streamer group  1a|1b|1c|2a|2b [--kernel triad]
-//! streamer table  1|2|headline|disaggregation
-//! streamer scenario restart
+//! streamer table  1|2|headline|disaggregation|tiering
+//! streamer scenario restart|tiering
 //! streamer analysis
 //! streamer topology [--setup 1|2|dcpmm]
 //! streamer all --out DIR
@@ -34,7 +34,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation>\n  streamer scenario restart\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
+    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation|tiering>\n  streamer scenario <restart|tiering>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
 }
 
 /// Parses `--key value` and `--flag` style options.
@@ -162,9 +162,10 @@ fn cmd_table(positional: &[String]) -> Result<(), String> {
         "2" => table2().map_err(|e| e.to_string())?,
         "headline" => headline_table().map_err(|e| e.to_string())?,
         "disaggregation" => disaggregation_table().map_err(|e| e.to_string())?,
+        "tiering" => streamer::tiering_table().map_err(|e| e.to_string())?,
         other => {
             return Err(format!(
-                "unknown table '{other}' (use 1, 2, headline or disaggregation)"
+                "unknown table '{other}' (use 1, 2, headline, disaggregation or tiering)"
             ))
         }
     };
@@ -188,7 +189,22 @@ fn cmd_scenario(positional: &[String]) -> Result<(), String> {
                 Err("a disaggregated-restart scenario failed — see the table above".to_string())
             }
         }
-        other => Err(format!("unknown scenario '{other}' (use restart)")),
+        "tiering" => {
+            let report = streamer::tiering::run_sweep().map_err(|e| e.to_string())?;
+            println!("{}", streamer::tiering::render_table(&report).to_markdown());
+            if report.all_hold() {
+                println!("adaptive tiering matches or beats static spill at every dataset size");
+                Ok(())
+            } else {
+                Err(
+                    "the adaptive policy lost to static spill at a dataset size — see the table"
+                        .to_string(),
+                )
+            }
+        }
+        other => Err(format!(
+            "unknown scenario '{other}' (use restart or tiering)"
+        )),
     }
 }
 
@@ -266,6 +282,13 @@ fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
         Some(&out),
         "disaggregation.md",
         &disaggregation_table()
+            .map_err(|e| e.to_string())?
+            .to_markdown(),
+    )?;
+    emit(
+        Some(&out),
+        "tiering.md",
+        &streamer::tiering_table()
             .map_err(|e| e.to_string())?
             .to_markdown(),
     )?;

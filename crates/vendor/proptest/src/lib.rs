@@ -4,8 +4,12 @@
 //! `proptest!` macro with `name in strategy` parameters, integer/float range
 //! strategies, `any::<T>()`, and `proptest::collection::{vec, btree_set}`.
 //! This crate reimplements exactly that slice with a deterministic splitmix64
-//! generator. Failing cases are reported with their case number and seed so
-//! they can be reproduced; there is no shrinking.
+//! generator. There is no shrinking, but failures are directly replayable:
+//! every case draws from its own per-case seed, a failing case prints that
+//! seed plus the exact rerun command, and setting `PROPTEST_SEED=<seed>`
+//! (with `PROPTEST_CASES=1`) re-executes just that case — case 0 under an
+//! explicit seed *is* the seed, so the printed command reproduces the failure
+//! byte-for-byte. `PROPTEST_CASES` overrides the case count as before.
 
 #![warn(missing_docs)]
 
@@ -52,12 +56,48 @@ pub struct TestRng(u64);
 impl TestRng {
     /// Seeds the generator deterministically from a test name.
     pub fn deterministic(name: &str) -> Self {
+        TestRng(Self::name_seed(name))
+    }
+
+    /// Starts the generator at an explicit state (failure replay).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// The deterministic base seed for a property name.
+    pub fn name_seed(name: &str) -> u64 {
         let mut seed = 0xcbf2_9ce4_8422_2325u64;
         for b in name.bytes() {
             seed ^= b as u64;
             seed = seed.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng(seed)
+        seed
+    }
+
+    /// The base seed for a property run: `PROPTEST_SEED` when set (so a
+    /// printed failure seed replays exactly), the name-derived seed
+    /// otherwise. An invalid value is an error, not a silent fallback.
+    pub fn resolve_seed(name: &str) -> u64 {
+        match std::env::var("PROPTEST_SEED") {
+            Ok(value) => match parse_seed(&value) {
+                Some(seed) => seed,
+                None => panic!("PROPTEST_SEED must be a u64 (decimal or 0x-hex), got {value:?}"),
+            },
+            Err(_) => Self::name_seed(name),
+        }
+    }
+
+    /// The seed of case `case` under `base`. Case 0 uses `base` verbatim —
+    /// that is what makes `PROPTEST_SEED=<printed seed> PROPTEST_CASES=1`
+    /// replay a failure exactly; later cases decorrelate through splitmix.
+    pub fn case_seed(base: u64, case: u32) -> u64 {
+        if case == 0 {
+            return base;
+        }
+        let mut z = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
     /// Next raw 64 random bits.
@@ -79,6 +119,24 @@ impl TestRng {
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+}
+
+fn parse_seed(value: &str) -> Option<u64> {
+    let trimmed = value.trim();
+    if let Some(hex) = trimmed
+        .strip_prefix("0x")
+        .or_else(|| trimmed.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        trimmed.parse::<u64>().ok()
+    }
+}
+
+/// Formats the exact command that replays one failing case.
+#[doc(hidden)]
+pub fn rerun_command(name: &str, seed: u64) -> String {
+    format!("PROPTEST_SEED={seed:#x} PROPTEST_CASES=1 cargo test {name}")
 }
 
 /// Why one test case did not pass: a genuine failure or a rejected
@@ -354,21 +412,43 @@ macro_rules! __proptest_impl {
             #[allow(clippy::redundant_closure_call)]
             fn $name() {
                 let __config: $crate::ProptestConfig = $config;
-                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                let __base = $crate::TestRng::resolve_seed(stringify!($name));
                 for __case in 0..__config.cases {
+                    // Every case draws from its own seed so a failure can be
+                    // replayed alone: PROPTEST_SEED=<seed> makes case 0 use
+                    // the seed verbatim.
+                    let __seed = $crate::TestRng::case_seed(__base, __case);
+                    let mut __rng = $crate::TestRng::from_seed(__seed);
                     $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
                     // The body runs in a `Result` closure so it can use
                     // `return Err(TestCaseError::...)` and `prop_assume!`,
-                    // exactly like real proptest bodies.
-                    let __outcome = (|| -> ::core::result::Result<(), $crate::TestCaseError> {
-                        $body
-                        Ok(())
-                    })();
+                    // exactly like real proptest bodies; catch_unwind lets a
+                    // prop_assert! panic carry the rerun command too.
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::core::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
                     match __outcome {
-                        Ok(()) => {}
-                        Err($crate::TestCaseError::Reject(_)) => {}
-                        Err($crate::TestCaseError::Fail(__reason)) => {
-                            panic!("property {} failed at case {}: {}", stringify!($name), __case, __reason);
+                        Ok(Ok(())) => {}
+                        Ok(Err($crate::TestCaseError::Reject(_))) => {}
+                        Ok(Err($crate::TestCaseError::Fail(__reason))) => {
+                            panic!(
+                                "property {} failed at case {} (seed {:#x}): {}\n  rerun this case alone with: {}",
+                                stringify!($name), __case, __seed, __reason,
+                                $crate::rerun_command(stringify!($name), __seed),
+                            );
+                        }
+                        Err(__payload) => {
+                            eprintln!(
+                                "property {} failed at case {} (seed {:#x})\n  rerun this case alone with: {}",
+                                stringify!($name), __case, __seed,
+                                $crate::rerun_command(stringify!($name), __seed),
+                            );
+                            ::std::panic::resume_unwind(__payload);
                         }
                     }
                 }
@@ -448,6 +528,77 @@ mod tests {
         assert_eq!(a, b);
         let mut r2 = TestRng::deterministic("y");
         assert_ne!(a[0], r2.next_u64());
+    }
+
+    #[test]
+    fn case_seeds_are_replayable_and_decorrelated() {
+        let base = TestRng::name_seed("prop_example");
+        // Case 0 is the base seed verbatim: replaying a printed seed via
+        // PROPTEST_SEED runs the exact same draws as the failing case.
+        assert_eq!(TestRng::case_seed(base, 0), base);
+        let s1 = TestRng::case_seed(base, 1);
+        let s2 = TestRng::case_seed(base, 2);
+        assert_ne!(s1, base);
+        assert_ne!(s1, s2);
+        // A replay under the failing case's seed draws identical values.
+        let failing = TestRng::case_seed(base, 7);
+        let a: Vec<u64> = {
+            let mut r = TestRng::from_seed(TestRng::case_seed(failing, 0));
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::from_seed(failing);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(crate::parse_seed("42"), Some(42));
+        assert_eq!(
+            crate::parse_seed(" 0xdead_beef".replace('_', "").as_str()),
+            Some(0xdead_beef)
+        );
+        assert_eq!(crate::parse_seed("0Xff"), Some(255));
+        assert_eq!(crate::parse_seed("nope"), None);
+        assert_eq!(crate::parse_seed("-3"), None);
+    }
+
+    #[test]
+    fn rerun_command_names_the_seed_and_the_test() {
+        let cmd = crate::rerun_command("prop_foo", 0xabcd);
+        assert_eq!(
+            cmd,
+            "PROPTEST_SEED=0xabcd PROPTEST_CASES=1 cargo test prop_foo"
+        );
+    }
+
+    #[test]
+    fn failing_case_panics_with_the_rerun_command() {
+        // A property that fails only for even draws; the panic payload must
+        // carry the per-case seed and the replay command.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            #[allow(unused)]
+            fn prop_inner_fails(v in 0u64..1_000_000) {
+                if v % 2 == 0 {
+                    return Err(TestCaseError::fail("even draw"));
+                }
+            }
+        }
+        let payload = std::panic::catch_unwind(prop_inner_fails).unwrap_err();
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(message.contains("prop_inner_fails"), "{message}");
+        assert!(message.contains("seed 0x"), "{message}");
+        assert!(
+            message.contains("PROPTEST_SEED=0x") && message.contains("PROPTEST_CASES=1"),
+            "{message}"
+        );
     }
 
     proptest! {

@@ -1,9 +1,16 @@
-//! Memory-Mode expansion: a data set larger than local DRAM spills onto the
-//! CXL expander (the paper's Class 2 "memory expansion" use case).
+//! Memory-Mode expansion, adaptively: a data set larger than local DRAM
+//! spills onto the CXL expander (the paper's Class 2 use case) — but instead
+//! of freezing that split forever, the tiering engine watches per-chunk
+//! access heat and migrates chunks so the *traffic* lands where the machine
+//! has bandwidth.
 //!
 //! Run with: `cargo run --example memory_expansion`
 
-use streamer_repro::cxl_pmem::{CxlPmemRuntime, ExpansionPlan};
+use streamer_repro::cxl_pmem::tiering::{
+    assignment_bandwidth, BandwidthAwarePolicy, ChunkHeat, HotGreedyPolicy, PlanContext,
+    StaticSpillPolicy, TierPlanner, TierShape,
+};
+use streamer_repro::cxl_pmem::{CxlPmemRuntime, TierPolicy};
 use streamer_repro::numa::AffinityPolicy;
 
 const GIB: u64 = 1024 * 1024 * 1024;
@@ -11,49 +18,122 @@ const GIB: u64 = 1024 * 1024 * 1024;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = CxlPmemRuntime::setup1();
     let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 10)?;
+    let engine = runtime.engine();
 
-    println!("Socket 0 has 64 GiB of local DDR5; the CXL expander adds 16 GiB.\n");
-    println!("dataset   local-share  cxl-share   simulated bandwidth");
+    println!("Socket 0 has 64 GiB of local DDR5; the CXL expander adds 16 GiB.");
+    println!("Access pattern: every 4th 1 GiB chunk is 8x hotter (a strided working set).\n");
+    println!("Static spill places chunks once, by capacity. The adaptive policies replan");
+    println!("from observed heat — same capacity budgets, different bandwidth:\n");
+
+    let tiers = [
+        TierShape {
+            node: 0,
+            capacity_bytes: 64 * GIB,
+        },
+        TierShape {
+            node: 2,
+            capacity_bytes: 16 * GIB,
+        },
+    ];
+    println!("dataset   static-spill   hot-greedy   bandwidth-aware   adaptive cxl-traffic");
     for dataset_gib in [16u64, 32, 48, 64, 70, 76] {
-        let bytes = dataset_gib * GIB;
-        let plan = ExpansionPlan::spill(runtime.machine(), bytes, &[0, 2])?;
-        // One sweep over the whole dataset: every thread touches its share.
-        let per_thread = bytes / placement.len() as u64;
-        let report = runtime.simulate_expansion_phase(
-            &format!("{dataset_gib} GiB sweep"),
-            &placement,
-            &plan,
-            per_thread * 2 / 3,
-            per_thread / 3,
-        )?;
+        let chunks = dataset_gib as usize;
+        let heat: Vec<ChunkHeat> = (0..chunks)
+            .map(|i| ChunkHeat {
+                read_bytes: if i % 4 == 0 { 8 * GIB } else { GIB },
+                write_bytes: 0,
+            })
+            .collect();
+        let ctx = PlanContext {
+            data_len: dataset_gib * GIB,
+            chunk_bytes: GIB,
+            heat: &heat,
+            tiers: &tiers,
+            engine,
+            cpus: placement.cpus(),
+            current: None,
+        };
+        let weights = ctx.effective_heat();
+        let bandwidth_of = |planner: &dyn TierPlanner| -> Result<f64, Box<dyn std::error::Error>> {
+            let parts = planner.plan(&ctx)?.traffic_parts(&tiers, &weights);
+            Ok(assignment_bandwidth(engine, placement.cpus(), &parts)?.bandwidth_gbs)
+        };
+        let static_gbs = bandwidth_of(&StaticSpillPolicy)?;
+        let hot_gbs = bandwidth_of(&HotGreedyPolicy)?;
+        // The adaptive plan is also asked where the traffic actually lands.
+        let adaptive_parts = BandwidthAwarePolicy
+            .plan(&ctx)?
+            .traffic_parts(&tiers, &weights);
+        let adaptive_gbs =
+            assignment_bandwidth(engine, placement.cpus(), &adaptive_parts)?.bandwidth_gbs;
+        let total: u64 = adaptive_parts.iter().map(|&(_, w)| w).sum();
+        let cxl_share = adaptive_parts
+            .iter()
+            .find(|&&(node, _)| node == 2)
+            .map(|&(_, w)| w as f64 / total.max(1) as f64)
+            .unwrap_or(0.0);
         println!(
-            "{:>5} GiB   {:>8.0}%   {:>8.0}%   {:>8.1} GB/s (bottleneck: {})",
+            "{:>5} GiB   {:>8.1} GB/s  {:>8.1} GB/s   {:>10.1} GB/s   {:>12.0}%",
             dataset_gib,
-            plan.fraction_on(0) * 100.0,
-            plan.fraction_on(2) * 100.0,
-            report.bandwidth_gbs,
-            report.bottleneck_resource,
+            static_gbs,
+            hot_gbs,
+            adaptive_gbs,
+            cxl_share * 100.0
         );
     }
 
-    // For comparison: the naive alternative of binding the whole working set
-    // to the expander (numactl --membind=2) is capped by its ~11 GB/s ceiling.
-    let per_thread = 16 * GIB / placement.len() as u64;
-    let cxl_only = runtime.simulate_stream_phase(
-        "membind=2",
-        &placement,
-        2,
-        per_thread * 2 / 3,
-        per_thread / 3,
-        streamer_repro::cxl_pmem::AccessMode::MemoryMode,
+    // The same loop, functionally: a small TieredRegion whose spilled tail
+    // turns out to be the hot set. One rebalance promotes it — with real
+    // byte copies, flush-batched persists and a durable residency flip.
+    println!("\n--- functional region (64 chunks x 64 KiB, budgets 48+64) ---");
+    let chunk = 64 * 1024u64;
+    let mut region = runtime.tiered_region(
+        &[
+            (TierPolicy::LocalDram { socket: 0 }, 48 * chunk),
+            (TierPolicy::CxlExpander, 64 * chunk),
+        ],
+        "expansion-adaptive",
+        64 * chunk,
+        chunk,
     )?;
-    println!();
+    let payload = vec![0xA5u8; chunk as usize];
+    for c in 0..64 {
+        region.write_chunk(c, &payload)?;
+    }
     println!(
-        "membind=2 (everything on the expander): {:.1} GB/s — the expander's ceiling.",
-        cxl_only.bandwidth_gbs
+        "initial spill: {:.0}% local, {:.0}% on {}",
+        region.fraction_on_node(0)? * 100.0,
+        region.fraction_on_node(2)? * 100.0,
+        region.tier_mount(1).unwrap_or("?"),
     );
-    println!("Spilling only the overflow keeps the local DIMM as the main bandwidth source");
-    println!("while the CXL tier contributes its share — and, above all, the application");
-    println!("gains 16 GiB of capacity it simply would not have had.");
+    // The spilled chunks (48..64) carry most of the reads.
+    let mut buf = vec![0u8; chunk as usize];
+    for _ in 0..16 {
+        for c in 48..64 {
+            region.read_chunk(c, &mut buf)?;
+        }
+    }
+    let workers = runtime.worker_pool_for(&AffinityPolicy::close(), 8)?;
+    let stats = runtime.rebalance(&mut region, &HotGreedyPolicy, &workers)?;
+    println!(
+        "rebalance (hot-greedy): moved {} chunks / {} KiB; hot tail now {:.0}% local",
+        stats.chunks_moved,
+        stats.bytes_moved / 1024,
+        region
+            .residency()?
+            .iter()
+            .skip(48)
+            .filter(|&&t| t == 0)
+            .count() as f64
+            / 16.0
+            * 100.0,
+    );
+    let cost = engine.migration_cost(placement.cpus(), 0, 2, 16 * GIB)?;
+    println!(
+        "\nAt paper scale the model prices a full 16 GiB reshuffle at {:.2} s —",
+        cost.seconds
+    );
+    println!("a few seconds of STREAM traffic buys back ~40% aggregate bandwidth, and the");
+    println!("application still gains the 16 GiB of capacity it would not have had.");
     Ok(())
 }

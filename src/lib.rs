@@ -46,5 +46,11 @@ mod tests {
         );
         assert_eq!(cluster.ports(), 0);
         assert_eq!(crate::streamer::RestartScenario::ALL.len(), 4);
+        // And the adaptive tiering engine (tracker, residency, sweep grid).
+        let tracker = crate::cxl_pmem::AccessTracker::new(4096, 1024);
+        tracker.record_read(0, 4096);
+        assert_eq!(tracker.chunk_count(), 4);
+        assert_eq!(crate::pmem::ResidencyMap::map_size(4), 32 + 16);
+        assert_eq!(crate::streamer::tiering::DATASETS_GIB.len(), 6);
     }
 }
