@@ -81,6 +81,9 @@ pub enum ClusterError {
         /// The segment that was read.
         segment: String,
     },
+    /// The request was refused by fleet admission control (overload, closed
+    /// class, or an over-burst request) — the typed "back off" signal.
+    Admission(crate::admission::AdmissionError),
     /// The CXL layer (switch pooling, shared-region access) failed.
     Cxl(CxlError),
     /// The persistent store (pool, checkpoint region) failed.
@@ -103,6 +106,7 @@ impl fmt::Display for ClusterError {
                 f,
                 "segment '{segment}' was never published by its writer; refusing the read"
             ),
+            ClusterError::Admission(e) => write!(f, "{e}"),
             ClusterError::Cxl(e) => write!(f, "cxl error: {e}"),
             ClusterError::Pmem(e) => write!(f, "pmem error: {e}"),
         }
@@ -119,6 +123,11 @@ impl From<CxlError> for ClusterError {
 impl From<PmemError> for ClusterError {
     fn from(e: PmemError) -> Self {
         ClusterError::Pmem(e)
+    }
+}
+impl From<crate::admission::AdmissionError> for ClusterError {
+    fn from(e: crate::admission::AdmissionError) -> Self {
+        ClusterError::Admission(e)
     }
 }
 
@@ -141,18 +150,16 @@ struct Segment {
     data_len: u64,
 }
 
-/// State shared by the cluster facade and every host handle.
+/// State shared by the cluster facade and every host handle. The switch is
+/// internally lock-striped (all methods take `&self`), so only the segment
+/// name table needs a cluster-level lock.
 struct ClusterShared {
     mode: CoherenceMode,
-    switch: Mutex<CxlSwitch>,
+    switch: CxlSwitch,
     segments: Mutex<HashMap<String, Arc<Segment>>>,
 }
 
 impl ClusterShared {
-    fn switch(&self) -> std::sync::MutexGuard<'_, CxlSwitch> {
-        self.switch.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     fn segments(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Segment>>> {
         self.segments.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -167,14 +174,10 @@ pub struct DisaggregatedCluster {
 
 impl fmt::Debug for DisaggregatedCluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // One lock per statement: holding both guards in a chained expression
-        // would invert create_segment's segments→switch order (ABBA).
-        let ports = self.shared.switch().ports();
-        let segments = self.shared.segments().len();
         f.debug_struct("DisaggregatedCluster")
             .field("mode", &self.shared.mode)
-            .field("ports", &ports)
-            .field("segments", &segments)
+            .field("ports", &self.shared.switch.ports())
+            .field("segments", &self.shared.segments().len())
             .finish()
     }
 }
@@ -186,7 +189,7 @@ impl DisaggregatedCluster {
         DisaggregatedCluster {
             shared: Arc::new(ClusterShared {
                 mode,
-                switch: Mutex::new(CxlSwitch::new(name)),
+                switch: CxlSwitch::new(name),
                 segments: Mutex::new(HashMap::new()),
             }),
         }
@@ -194,21 +197,18 @@ impl DisaggregatedCluster {
 
     /// Attaches a Type-3 expander to the next downstream port.
     pub fn attach_device(&self, device: Arc<Type3Device>) -> PortId {
-        self.shared.switch().attach_device(device)
+        self.shared.switch.attach_device(device)
     }
 
     /// Binds a downstream port exclusively to `host`; subsequent segment
     /// carving for other hosts skips this port.
     pub fn bind_port(&self, port: PortId, host: HostId) -> ClusterResult<()> {
-        self.shared
-            .switch()
-            .bind_port(port, host)
-            .map_err(Into::into)
+        self.shared.switch.bind_port(port, host).map_err(Into::into)
     }
 
     /// Unbinds a port, returning it to the anyone-may-allocate pool.
     pub fn unbind_port(&self, port: PortId) -> ClusterResult<()> {
-        self.shared.switch().unbind_port(port).map_err(Into::into)
+        self.shared.switch.unbind_port(port).map_err(Into::into)
     }
 
     /// The coherence mode every segment of this cluster uses.
@@ -218,22 +218,28 @@ impl DisaggregatedCluster {
 
     /// Number of pooled downstream ports.
     pub fn ports(&self) -> usize {
-        self.shared.switch().ports()
+        self.shared.switch.ports()
     }
 
     /// Total pooled capacity (bytes).
     pub fn total_capacity(&self) -> u64 {
-        self.shared.switch().total_capacity()
+        self.shared.switch.total_capacity()
     }
 
     /// Pooled capacity not assigned to any host (bytes).
     pub fn unassigned_capacity(&self) -> u64 {
-        self.shared.switch().unassigned_capacity()
+        self.shared.switch.unassigned_capacity()
     }
 
     /// Pooled capacity currently assigned to `host` (bytes).
     pub fn assigned_to(&self, host: HostId) -> u64 {
-        self.shared.switch().assigned_to(host)
+        self.shared.switch.assigned_to(host)
+    }
+
+    /// A consistent pool-capacity snapshot (total / unassigned / per-host
+    /// assigned), safe to take while other hosts allocate and release.
+    pub fn accounting(&self) -> cxl::PoolAccounting {
+        self.shared.switch.accounting()
     }
 
     /// Names of the live shared segments, sorted.
@@ -254,7 +260,7 @@ impl DisaggregatedCluster {
             .remove(name)
             .ok_or_else(|| ClusterError::UnknownSegment(name.to_string()))?;
         self.shared
-            .switch()
+            .switch
             .release(segment.allocation.id)
             .map_err(Into::into)
     }
@@ -310,7 +316,7 @@ impl ClusterHost {
             if segments.contains_key(&name) {
                 return Err(ClusterError::SegmentExists(name));
             }
-            let mut switch = self.shared.switch();
+            let switch = &self.shared.switch;
             let allocation = switch.allocate(self.host, size)?;
             let region = Arc::new(switch.shared_region(&allocation, self.shared.mode)?);
             Arc::new(Segment {
@@ -354,7 +360,7 @@ impl ClusterHost {
             Err(e) => e,
         };
         // A failed (or name-raced) format must not leak the carved capacity.
-        let _ = self.shared.switch().release(segment.allocation.id);
+        let _ = self.shared.switch.release(segment.allocation.id);
         Err(error)
     }
 

@@ -33,10 +33,55 @@
 //! * [`tiering`] — the adaptive tiering engine: access-tracked hot/cold chunk
 //!   migration across DRAM/CXL tiers (placement as a feedback loop, not a
 //!   one-shot decision).
+//! * [`cluster`] — the disaggregated cluster: many hosts federating
+//!   checkpoint/restart segments over switch-pooled, multi-headed far memory.
+//! * [`admission`] — the fleet-serving front door: per-[`QosClass`]
+//!   token-bucket admission with bounded queues and typed rejection.
+//!
+//! # Example
+//!
+//! Checkpoint a host's state into the pooled far-memory tier and restore it
+//! bit-exact, with pool accounting conserved throughout:
+//!
+//! ```
+//! use cxl_pmem::cluster::CoherenceMode;
+//! use cxl_pmem::CxlPmemRuntime;
+//!
+//! let runtime = CxlPmemRuntime::setup1();
+//! let cluster = runtime.disaggregated_cluster(2, CoherenceMode::SoftwareManaged);
+//!
+//! let state = vec![42u8; 64 * 1024];
+//! let mut segment = cluster.host(0).create_segment("doc", 64 * 1024, 4096).unwrap();
+//! segment.checkpoint(&state).unwrap();
+//!
+//! let mut restored = vec![0u8; 64 * 1024];
+//! segment.restore(&mut restored).unwrap();
+//! assert_eq!(restored, state);
+//! assert!(cluster.accounting().conserves());
+//! ```
+//!
+//! Fleet serving fronts that cluster with QoS admission control — paying
+//! classes are sized for their load, scavengers get typed rejections:
+//!
+//! ```
+//! use cxl_pmem::{AdmissionController, ClassConfig, Decision, QosClass};
+//!
+//! let front_door = AdmissionController::new([
+//!     ClassConfig { rate_bytes_per_sec: 12e9, burst_bytes: 1 << 30, queue_depth: 32 },
+//!     ClassConfig { rate_bytes_per_sec: 8e9, burst_bytes: 1 << 30, queue_depth: 16 },
+//!     ClassConfig::closed(), // Background is shut off entirely
+//! ]);
+//! assert!(matches!(
+//!     front_door.submit(QosClass::Checkpoint, 64 << 20, 0.0),
+//!     Ok(Decision::Admitted(_))
+//! ));
+//! assert!(front_door.submit(QosClass::Background, 1, 0.0).is_err());
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod backend;
 pub mod cluster;
 pub mod modes;
@@ -44,6 +89,9 @@ pub mod placement;
 pub mod runtime;
 pub mod tiering;
 
+pub use admission::{
+    AdmissionController, AdmissionError, ClassConfig, Decision, Permit, QosClass, Ticket,
+};
 pub use backend::CxlDeviceBackend;
 pub use cluster::{ClusterError, ClusterHost, DisaggregatedCluster, HostSegment};
 pub use modes::{AccessMode, ModeProperties};

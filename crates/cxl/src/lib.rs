@@ -26,6 +26,27 @@
 //!   dynamic capacity).
 //! * [`sharing`] — the multi-headed configuration of §2.2 where the *same*
 //!   device memory is exposed to two hosts with software-managed coherence.
+//!
+//! # Example
+//!
+//! Pool two prototype cards behind a switch and carve capacity for a host;
+//! the pool's accounting conserves at every step:
+//!
+//! ```
+//! use cxl::{CxlSwitch, FpgaPrototype};
+//!
+//! let switch = CxlSwitch::new("rack");
+//! switch.attach_device(FpgaPrototype::paper_prototype().endpoint());
+//! switch.attach_device(FpgaPrototype::paper_prototype().endpoint());
+//!
+//! let grant = switch.allocate(0, 1 << 30).unwrap();
+//! let accounting = switch.accounting();
+//! assert!(accounting.conserves()); // unassigned + Σ assigned == total
+//! assert_eq!(accounting.assigned.get(&0), Some(&(1 << 30)));
+//!
+//! switch.release(grant.id).unwrap();
+//! assert_eq!(switch.accounting().assigned_total(), 0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -47,7 +68,7 @@ pub use fpga::FpgaPrototype;
 pub use hdm::{HdmDecoder, HdmRange};
 pub use sharing::{CoherenceMode, SharedRegion};
 pub use sparse::SparseMemory;
-pub use switch::{CxlSwitch, HostId, PoolAllocation, PortId};
+pub use switch::{CxlSwitch, HostId, PoolAccounting, PoolAllocation, PortId};
 pub use transaction::{IoRequest, IoResponse, MemOpcode, MemRequest, MemResponse};
 
 /// Result alias for CXL operations.

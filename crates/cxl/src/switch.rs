@@ -1,4 +1,4 @@
-//! CXL 2.0 switching and memory pooling.
+//! CXL 2.0 switching and memory pooling — concurrency-safe.
 //!
 //! CXL 2.0 "expands the specification – among other capabilities – to memory
 //! pools using CXL switches on a device level" (paper §1.3). A [`CxlSwitch`]
@@ -6,11 +6,38 @@
 //! can be bound to hosts and their capacity carved into pool allocations with
 //! dynamic-capacity semantics, which is the mechanism behind "adaptive memory
 //! provisioning to compute nodes in real time".
+//!
+//! # Concurrency model (lock-striped free lists)
+//!
+//! A serving fleet multiplexes many hosts onto one switch, so allocation is a
+//! contended hot path. The switch therefore takes `&self` everywhere and
+//! stripes its state per downstream port:
+//!
+//! * each port owns one mutex guarding that device's **free list**
+//!   (bump watermark + released holes) *and* its **live allocations** — so a
+//!   carve moves bytes from free to assigned under a single lock acquisition,
+//!   and no observer can catch a byte in neither column;
+//! * allocation ids encode their port (`id = port << 40 | per-port sequence`),
+//!   so `release` locks exactly the stripe that owns the allocation instead of
+//!   a global registry;
+//! * the port table and the port→host bindings sit behind `RwLock`s —
+//!   `attach_device` is a rare topology change, and a binding read nests
+//!   inside the port lock so a concurrent `bind_port` linearizes either
+//!   before an in-flight carve (which then skips the port) or after it
+//!   (the carve was already granted under the previous binding).
+//!
+//! The conservation invariant — `unassigned + Σ assigned == total` — is
+//! per-port atomic, and capacity never moves between ports, so even a
+//! [`accounting`](CxlSwitch::accounting) snapshot taken *during* a storm of
+//! concurrent allocate/release/bind traffic sums to exactly the pool size.
+//! `tests` pin this with both a random-sequence property and a multi-threaded
+//! stress run with a concurrent auditor.
 
 use crate::endpoint::Type3Device;
 use crate::error::CxlError;
 use crate::sharing::{CoherenceMode, SharedRegion};
 use crate::Result;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -19,10 +46,14 @@ pub type PortId = usize;
 /// Identifier of a host (an upstream port owner).
 pub type HostId = usize;
 
+/// Allocation ids carry their port in the high bits so `release` can address
+/// the owning stripe directly: `id = (port << PORT_SHIFT) | sequence`.
+const PORT_SHIFT: u32 = 40;
+
 /// A capacity allocation handed to a host from the pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolAllocation {
-    /// Allocation id.
+    /// Allocation id (the owning port lives in the high bits).
     pub id: u64,
     /// Host owning the allocation.
     pub host: HostId,
@@ -34,21 +65,63 @@ pub struct PoolAllocation {
     pub len: u64,
 }
 
-/// A CXL 2.0 switch with memory pooling.
+/// One port's striped allocator state: the free list *and* the live
+/// allocations move together under a single lock, so per-port conservation is
+/// atomic.
+#[derive(Debug)]
+struct PortAlloc {
+    /// Next free DPA (bump allocation above the holes).
+    watermark: u64,
+    /// Released-but-not-yet-coalesced ranges, sorted by offset and kept
+    /// merged. Holes are reusable (first-fit) and count as unassigned.
+    holes: Vec<(u64, u64)>,
+    /// Live allocations carved from this port, keyed by full allocation id.
+    live: HashMap<u64, PoolAllocation>,
+    /// Per-port id sequence (starts at 1; 0 is never a valid id).
+    next_seq: u64,
+}
+
+/// A downstream port: the attached device plus its striped allocator.
+#[derive(Debug)]
+struct Port {
+    device: Arc<Type3Device>,
+    alloc: Mutex<PortAlloc>,
+}
+
+/// A consistent capacity snapshot of the whole pool (see
+/// [`CxlSwitch::accounting`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolAccounting {
+    /// Total capacity across all downstream devices (bytes).
+    pub total: u64,
+    /// Bytes not assigned to any host.
+    pub unassigned: u64,
+    /// Bytes assigned per host (hosts with zero assignment are absent).
+    pub assigned: HashMap<HostId, u64>,
+}
+
+impl PoolAccounting {
+    /// Σ assigned across all hosts (bytes).
+    pub fn assigned_total(&self) -> u64 {
+        self.assigned.values().sum()
+    }
+
+    /// Whether conservation holds for this snapshot:
+    /// `unassigned + Σ assigned == total`.
+    pub fn conserves(&self) -> bool {
+        self.unassigned + self.assigned_total() == self.total
+    }
+}
+
+/// A CXL 2.0 switch with memory pooling. All operations take `&self`; see the
+/// [module docs](self) for the lock-striping design.
 #[derive(Debug)]
 pub struct CxlSwitch {
     name: String,
-    devices: Vec<Arc<Type3Device>>,
+    /// Downstream ports. Append-only; writers only on `attach_device`.
+    ports: RwLock<Vec<Arc<Port>>>,
     /// Downstream port -> host binding.
-    bindings: HashMap<PortId, HostId>,
-    /// Next free DPA per downstream port (bump allocation above the holes).
-    watermark: Vec<u64>,
-    /// Released-but-not-yet-coalesced ranges per port, sorted by offset and
-    /// kept merged. Holes are reusable (first-fit) and count as unassigned,
-    /// so `unassigned + Σ assigned == total` holds at all times.
-    holes: Vec<Vec<(u64, u64)>>,
-    allocations: Vec<PoolAllocation>,
-    next_alloc_id: u64,
+    bindings: RwLock<HashMap<PortId, HostId>>,
 }
 
 impl CxlSwitch {
@@ -56,12 +129,8 @@ impl CxlSwitch {
     pub fn new(name: impl Into<String>) -> Self {
         CxlSwitch {
             name: name.into(),
-            devices: Vec::new(),
-            bindings: HashMap::new(),
-            watermark: Vec::new(),
-            holes: Vec::new(),
-            allocations: Vec::new(),
-            next_alloc_id: 1,
+            ports: RwLock::new(Vec::new()),
+            bindings: RwLock::new(HashMap::new()),
         }
     }
 
@@ -71,116 +140,177 @@ impl CxlSwitch {
     }
 
     /// Attaches a Type-3 device to the next downstream port; returns the port id.
-    pub fn attach_device(&mut self, device: Arc<Type3Device>) -> PortId {
-        self.devices.push(device);
-        self.watermark.push(0);
-        self.holes.push(Vec::new());
-        self.devices.len() - 1
+    pub fn attach_device(&self, device: Arc<Type3Device>) -> PortId {
+        let mut ports = self.ports.write();
+        ports.push(Arc::new(Port {
+            device,
+            alloc: Mutex::new(PortAlloc {
+                watermark: 0,
+                holes: Vec::new(),
+                live: HashMap::new(),
+                next_seq: 1,
+            }),
+        }));
+        ports.len() - 1
     }
 
     /// Number of downstream ports.
     pub fn ports(&self) -> usize {
-        self.devices.len()
+        self.ports.read().len()
     }
 
     /// The device on a port.
-    pub fn device(&self, port: PortId) -> Result<&Arc<Type3Device>> {
-        self.devices.get(port).ok_or(CxlError::UnknownPort(port))
+    pub fn device(&self, port: PortId) -> Result<Arc<Type3Device>> {
+        self.ports
+            .read()
+            .get(port)
+            .map(|p| Arc::clone(&p.device))
+            .ok_or(CxlError::UnknownPort(port))
     }
 
     /// Binds a downstream port exclusively to a host (CXL 2.0 single-logical-
-    /// device assignment). Fails if already bound.
-    pub fn bind_port(&mut self, port: PortId, host: HostId) -> Result<()> {
-        if port >= self.devices.len() {
+    /// device assignment). Fails if already bound. The binding governs
+    /// allocations that linearize after it; a carve already granted keeps its
+    /// capacity.
+    pub fn bind_port(&self, port: PortId, host: HostId) -> Result<()> {
+        if port >= self.ports.read().len() {
             return Err(CxlError::UnknownPort(port));
         }
-        if self.bindings.contains_key(&port) {
+        let mut bindings = self.bindings.write();
+        if bindings.contains_key(&port) {
             return Err(CxlError::PortAlreadyBound(port));
         }
-        self.bindings.insert(port, host);
+        bindings.insert(port, host);
         Ok(())
     }
 
     /// Unbinds a port (e.g. to re-provision it to another host).
-    pub fn unbind_port(&mut self, port: PortId) -> Result<()> {
-        if port >= self.devices.len() {
+    pub fn unbind_port(&self, port: PortId) -> Result<()> {
+        if port >= self.ports.read().len() {
             return Err(CxlError::UnknownPort(port));
         }
-        self.bindings.remove(&port);
+        self.bindings.write().remove(&port);
         Ok(())
     }
 
     /// The host a port is bound to, if any.
     pub fn binding(&self, port: PortId) -> Option<HostId> {
-        self.bindings.get(&port).copied()
+        self.bindings.read().get(&port).copied()
     }
 
     /// Total capacity across all downstream devices (bytes).
     pub fn total_capacity(&self) -> u64 {
-        self.devices.iter().map(|d| d.capacity_bytes()).sum()
+        self.ports
+            .read()
+            .iter()
+            .map(|p| p.device.capacity_bytes())
+            .sum()
     }
 
     /// Capacity not yet assigned to any host (bytes): the bump space above
     /// every port's watermark plus the released holes below it.
     pub fn unassigned_capacity(&self) -> u64 {
-        let above: u64 = self
-            .devices
+        self.ports
+            .read()
             .iter()
-            .zip(self.watermark.iter())
-            .map(|(d, &w)| d.capacity_bytes().saturating_sub(w))
-            .sum();
-        let holes: u64 = self
-            .holes
-            .iter()
-            .flat_map(|port| port.iter().map(|&(_, len)| len))
-            .sum();
-        above + holes
+            .map(|port| {
+                let alloc = port.alloc.lock();
+                let holes: u64 = alloc.holes.iter().map(|&(_, len)| len).sum();
+                port.device.capacity_bytes() - alloc.watermark + holes
+            })
+            .sum()
+    }
+
+    /// A consistent capacity snapshot: total, unassigned and per-host assigned
+    /// bytes, gathered under one lock acquisition per port. Because a carve or
+    /// release mutates exactly one port's columns atomically — and capacity
+    /// never migrates between ports — the snapshot conserves
+    /// (`unassigned + Σ assigned == total`) even while other threads are
+    /// allocating and releasing.
+    pub fn accounting(&self) -> PoolAccounting {
+        let mut total = 0u64;
+        let mut unassigned = 0u64;
+        let mut assigned: HashMap<HostId, u64> = HashMap::new();
+        for port in self.ports.read().iter() {
+            let capacity = port.device.capacity_bytes();
+            let alloc = port.alloc.lock();
+            let holes: u64 = alloc.holes.iter().map(|&(_, len)| len).sum();
+            total += capacity;
+            unassigned += capacity - alloc.watermark + holes;
+            for a in alloc.live.values() {
+                *assigned.entry(a.host).or_insert(0) += a.len;
+            }
+        }
+        PoolAccounting {
+            total,
+            unassigned,
+            assigned,
+        }
     }
 
     /// Whether `host` may take capacity from `port`: unbound ports serve any
     /// host (multiple-logical-device pooling); a bound port serves only the
     /// host it is bound to.
     fn port_serves(&self, port: PortId, host: HostId) -> bool {
-        self.bindings.get(&port).is_none_or(|&bound| bound == host)
+        self.bindings
+            .read()
+            .get(&port)
+            .is_none_or(|&bound| bound == host)
     }
 
     /// Allocates `len` bytes from the pool to `host` (dynamic capacity add).
     /// Ports exclusively bound to a *different* host are skipped; on each
     /// eligible port a released hole is reused first (first fit), then the
     /// bump watermark. An allocation never spans devices.
-    pub fn allocate(&mut self, host: HostId, len: u64) -> Result<PoolAllocation> {
-        for (port, device) in self.devices.iter().enumerate() {
-            if !self.port_serves(port, host) {
+    ///
+    /// Thread-safe: concurrent callers contend only on the port stripe they
+    /// are carving from, and the carve plus its registration happen under
+    /// that one lock.
+    pub fn allocate(&self, host: HostId, len: u64) -> Result<PoolAllocation> {
+        let ports = self.ports.read();
+        // Accumulated while scanning so the rejection can report the capacity
+        // actually seen, without re-walking (and re-locking) every stripe.
+        let mut available = 0u64;
+        for (port_id, port) in ports.iter().enumerate() {
+            let mut alloc = port.alloc.lock();
+            // Binding check inside the stripe lock: a concurrent bind_port
+            // linearizes before this carve (we skip) or after it (the carve
+            // stands under the binding that was current when it was granted).
+            if !self.port_serves(port_id, host) {
                 continue;
             }
+            let free_above = port.device.capacity_bytes() - alloc.watermark;
+            let free_holes: u64 = alloc.holes.iter().map(|&(_, l)| l).sum();
+            available += free_above + free_holes;
             let dpa_offset =
-                if let Some(hole) = self.holes[port].iter_mut().find(|&&mut (_, l)| l >= len) {
+                if let Some(hole) = alloc.holes.iter_mut().find(|&&mut (_, l)| l >= len) {
                     let offset = hole.0;
                     hole.0 += len;
                     hole.1 -= len;
-                    self.holes[port].retain(|&(_, l)| l > 0);
+                    alloc.holes.retain(|&(_, l)| l > 0);
                     offset
-                } else if device.capacity_bytes() - self.watermark[port] >= len {
-                    let offset = self.watermark[port];
-                    self.watermark[port] += len;
+                } else if free_above >= len {
+                    let offset = alloc.watermark;
+                    alloc.watermark += len;
                     offset
                 } else {
                     continue;
                 };
-            let alloc = PoolAllocation {
-                id: self.next_alloc_id,
+            let id = ((port_id as u64) << PORT_SHIFT) | alloc.next_seq;
+            alloc.next_seq += 1;
+            let allocation = PoolAllocation {
+                id,
                 host,
-                port,
+                port: port_id,
                 dpa_offset,
                 len,
             };
-            self.next_alloc_id += 1;
-            self.allocations.push(alloc.clone());
-            return Ok(alloc);
+            alloc.live.insert(id, allocation.clone());
+            return Ok(allocation);
         }
         Err(CxlError::InsufficientCapacity {
             requested: len,
-            available: self.unassigned_capacity(),
+            available,
         })
     }
 
@@ -188,18 +318,24 @@ impl CxlSwitch {
     /// becomes a reusable hole; when the range under the watermark is
     /// entirely free the watermark drops past **all** trailing free space, so
     /// releasing adjacent tail blocks out of order still reclaims the full
-    /// bump range.
-    pub fn release(&mut self, allocation_id: u64) -> Result<()> {
-        let Some(pos) = self.allocations.iter().position(|a| a.id == allocation_id) else {
+    /// bump range. Only the owning port's stripe is locked.
+    pub fn release(&self, allocation_id: u64) -> Result<()> {
+        let port_id = (allocation_id >> PORT_SHIFT) as usize;
+        let ports = self.ports.read();
+        let Some(port) = ports.get(port_id) else {
             return Err(CxlError::UnknownAllocation(allocation_id));
         };
-        let alloc = self.allocations.remove(pos);
-        let holes = &mut self.holes[alloc.port];
-        let at = holes.partition_point(|&(offset, _)| offset < alloc.dpa_offset);
-        holes.insert(at, (alloc.dpa_offset, alloc.len));
+        let mut alloc = port.alloc.lock();
+        let Some(freed) = alloc.live.remove(&allocation_id) else {
+            return Err(CxlError::UnknownAllocation(allocation_id));
+        };
+        let at = alloc
+            .holes
+            .partition_point(|&(offset, _)| offset < freed.dpa_offset);
+        alloc.holes.insert(at, (freed.dpa_offset, freed.len));
         // Merge adjacent holes (releases of neighbouring allocations).
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(holes.len());
-        for &(offset, len) in holes.iter() {
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(alloc.holes.len());
+        for &(offset, len) in alloc.holes.iter() {
             match merged.last_mut() {
                 Some(last) if last.0 + last.1 == offset => last.1 += len,
                 _ => merged.push((offset, len)),
@@ -208,12 +344,12 @@ impl CxlSwitch {
         // Coalesce: a merged hole ending at the watermark is trailing free
         // space — fold it back into the bump range.
         if let Some(&(offset, len)) = merged.last() {
-            if offset + len == self.watermark[alloc.port] {
-                self.watermark[alloc.port] = offset;
+            if offset + len == alloc.watermark {
+                alloc.watermark = offset;
                 merged.pop();
             }
         }
-        self.holes[alloc.port] = merged;
+        alloc.holes = merged;
         Ok(())
     }
 
@@ -225,26 +361,60 @@ impl CxlSwitch {
         allocation: &PoolAllocation,
         mode: CoherenceMode,
     ) -> Result<SharedRegion> {
-        if !self.allocations.iter().any(|a| a == allocation) {
-            return Err(CxlError::UnknownAllocation(allocation.id));
+        let ports = self.ports.read();
+        let port = ports
+            .get(allocation.port)
+            .ok_or(CxlError::UnknownAllocation(allocation.id))?;
+        {
+            let alloc = port.alloc.lock();
+            if alloc.live.get(&allocation.id) != Some(allocation) {
+                return Err(CxlError::UnknownAllocation(allocation.id));
+            }
         }
-        let device = self.device(allocation.port)?;
         SharedRegion::new(
-            Arc::clone(device),
+            Arc::clone(&port.device),
             allocation.dpa_offset,
             allocation.len,
             mode,
         )
     }
 
-    /// All live allocations of a host.
-    pub fn allocations_of(&self, host: HostId) -> Vec<&PoolAllocation> {
-        self.allocations.iter().filter(|a| a.host == host).collect()
+    /// All live allocations of a host (cloned out of the stripes; the pool
+    /// may change the moment the locks drop).
+    pub fn allocations_of(&self, host: HostId) -> Vec<PoolAllocation> {
+        let mut out: Vec<PoolAllocation> = self
+            .ports
+            .read()
+            .iter()
+            .flat_map(|port| {
+                port.alloc
+                    .lock()
+                    .live
+                    .values()
+                    .filter(|a| a.host == host)
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|a| a.id);
+        out
     }
 
     /// Capacity currently assigned to a host (bytes).
     pub fn assigned_to(&self, host: HostId) -> u64 {
-        self.allocations_of(host).iter().map(|a| a.len).sum()
+        self.ports
+            .read()
+            .iter()
+            .map(|port| {
+                port.alloc
+                    .lock()
+                    .live
+                    .values()
+                    .filter(|a| a.host == host)
+                    .map(|a| a.len)
+                    .sum::<u64>()
+            })
+            .sum()
     }
 }
 
@@ -257,7 +427,7 @@ mod tests {
     const GIB: u64 = 1024 * 1024 * 1024;
 
     fn switch_with_two_devices() -> CxlSwitch {
-        let mut sw = CxlSwitch::new("rack-switch");
+        let sw = CxlSwitch::new("rack-switch");
         sw.attach_device(Arc::new(Type3Device::new(
             "dev0",
             4 * GIB,
@@ -283,7 +453,7 @@ mod tests {
 
     #[test]
     fn port_binding_is_exclusive() {
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         sw.bind_port(0, 10).unwrap();
         assert_eq!(sw.binding(0), Some(10));
         assert_eq!(
@@ -297,7 +467,7 @@ mod tests {
 
     #[test]
     fn pool_allocation_and_release() {
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         let a = sw.allocate(1, 3 * GIB).unwrap();
         assert_eq!(a.port, 0);
         assert_eq!(a.dpa_offset, 0);
@@ -315,7 +485,7 @@ mod tests {
 
     #[test]
     fn over_allocation_is_rejected_with_remaining_capacity() {
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         sw.allocate(1, 4 * GIB).unwrap();
         let err = sw.allocate(1, 5 * GIB).unwrap_err();
         match err {
@@ -334,7 +504,7 @@ mod tests {
     fn allocate_skips_ports_bound_to_other_hosts() {
         // Regression: `allocate` used to ignore bindings entirely, handing
         // host 2 capacity from a device exclusively bound to host 1.
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         sw.bind_port(0, 1).unwrap();
         let foreign = sw.allocate(2, GIB).unwrap();
         assert_eq!(foreign.port, 1, "host 2 must not land on host 1's port");
@@ -355,16 +525,22 @@ mod tests {
 
     #[test]
     fn release_of_unknown_allocation_reports_the_full_id() {
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         // Regression: this used to come back as InvalidRegister(id as u32),
         // a wrong variant whose truncating cast aliased ids ≥ 2^32.
         let id = (7u64 << 32) | 9;
         assert_eq!(sw.release(id).unwrap_err(), CxlError::UnknownAllocation(id));
+        // An id whose encoded port does not exist is unknown too, not a panic.
+        let wild = (99u64 << PORT_SHIFT) | 1;
+        assert_eq!(
+            sw.release(wild).unwrap_err(),
+            CxlError::UnknownAllocation(wild)
+        );
     }
 
     #[test]
     fn out_of_order_release_of_tail_blocks_reclaims_capacity() {
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         let a = sw.allocate(1, GIB).unwrap();
         let b = sw.allocate(1, GIB).unwrap();
         let c = sw.allocate(1, GIB).unwrap();
@@ -385,7 +561,7 @@ mod tests {
 
     #[test]
     fn released_holes_are_reused_first_fit() {
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         let a = sw.allocate(1, GIB).unwrap();
         let _b = sw.allocate(1, GIB).unwrap();
         sw.release(a.id).unwrap();
@@ -399,7 +575,7 @@ mod tests {
     #[test]
     fn shared_region_wraps_a_live_allocation() {
         use crate::sharing::CoherenceMode;
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         let alloc = sw.allocate(0, GIB).unwrap();
         let region = sw
             .shared_region(&alloc, CoherenceMode::SoftwareManaged)
@@ -426,7 +602,7 @@ mod tests {
 
     #[test]
     fn allocations_of_lists_per_host() {
-        let mut sw = switch_with_two_devices();
+        let sw = switch_with_two_devices();
         sw.allocate(1, GIB).unwrap();
         sw.allocate(2, GIB).unwrap();
         sw.allocate(1, GIB).unwrap();
@@ -435,19 +611,191 @@ mod tests {
         assert_eq!(sw.allocations_of(3).len(), 0);
     }
 
+    #[test]
+    fn accounting_snapshot_conserves() {
+        let sw = switch_with_two_devices();
+        let a = sw.allocate(1, GIB).unwrap();
+        sw.allocate(2, 2 * GIB).unwrap();
+        let acct = sw.accounting();
+        assert!(acct.conserves());
+        assert_eq!(acct.total, 8 * GIB);
+        assert_eq!(acct.assigned[&1], GIB);
+        assert_eq!(acct.assigned[&2], 2 * GIB);
+        sw.release(a.id).unwrap();
+        let acct = sw.accounting();
+        assert!(acct.conserves());
+        assert!(!acct.assigned.contains_key(&1));
+    }
+
+    /// The fleet regime: many threads allocate, release and (un)bind at once
+    /// while an auditor thread snapshots the accounting mid-flight. Every
+    /// snapshot must conserve; after the storm the pool must drain back to
+    /// fully unassigned.
+    #[test]
+    fn concurrent_allocate_release_conserves_capacity() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        const KIB: u64 = 1024;
+        const THREADS: usize = 8;
+        const OPS: usize = 300;
+
+        let sw = Arc::new(CxlSwitch::new("fleet-switch"));
+        for (i, cap) in [64 * KIB, 96 * KIB, 128 * KIB, 64 * KIB]
+            .into_iter()
+            .enumerate()
+        {
+            sw.attach_device(Arc::new(Type3Device::new(
+                format!("stress-dev{i}"),
+                cap,
+                LinkConfig::gen5_x16(),
+            )));
+        }
+        let total = sw.total_capacity();
+        let done = Arc::new(AtomicBool::new(false));
+
+        // Auditor: conservation must hold in *every* mid-flight snapshot.
+        let auditor = {
+            let sw = Arc::clone(&sw);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut snapshots = 0u32;
+                while !done.load(Ordering::Relaxed) {
+                    let acct = sw.accounting();
+                    assert!(
+                        acct.conserves(),
+                        "mid-flight snapshot violated conservation: {} + {} != {}",
+                        acct.unassigned,
+                        acct.assigned_total(),
+                        acct.total
+                    );
+                    snapshots += 1;
+                    std::thread::yield_now();
+                }
+                snapshots
+            })
+        };
+
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let sw = Arc::clone(&sw);
+                std::thread::spawn(move || {
+                    // Deterministic per-thread LCG so reruns are replayable.
+                    let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1);
+                    let mut rng = move || {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        state >> 16
+                    };
+                    let mut live: Vec<PoolAllocation> = Vec::new();
+                    for _ in 0..OPS {
+                        match rng() % 5 {
+                            0..=2 => {
+                                let len = (rng() % (24 * KIB)) + 1;
+                                if let Ok(a) = sw.allocate(t, len) {
+                                    live.push(a);
+                                }
+                            }
+                            3 => {
+                                if !live.is_empty() {
+                                    let victim = rng() as usize % live.len();
+                                    let a = live.swap_remove(victim);
+                                    sw.release(a.id).unwrap();
+                                }
+                            }
+                            _ => {
+                                let port = rng() as usize % sw.ports();
+                                if rng() % 2 == 0 {
+                                    let _ = sw.bind_port(port, t);
+                                } else {
+                                    let _ = sw.unbind_port(port);
+                                }
+                            }
+                        }
+                    }
+                    // Drain: everything this thread still holds goes back.
+                    for a in live {
+                        sw.release(a.id).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        let snapshots = auditor.join().unwrap();
+        assert!(snapshots > 0, "auditor never sampled");
+
+        // Fully drained: every byte is unassigned again and no allocation
+        // survived (double-release would have panicked a worker above).
+        assert_eq!(sw.unassigned_capacity(), total);
+        for host in 0..THREADS {
+            assert_eq!(sw.assigned_to(host), 0);
+        }
+    }
+
+    /// Two threads hammering the *same* stripe must never hand out
+    /// overlapping ranges — the per-port lock covers carve + registration.
+    #[test]
+    fn concurrent_carves_on_one_port_never_overlap() {
+        const KIB: u64 = 1024;
+        let sw = Arc::new(CxlSwitch::new("one-port"));
+        sw.attach_device(Arc::new(Type3Device::new(
+            "solo",
+            512 * KIB,
+            LinkConfig::gen5_x16(),
+        )));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let sw = Arc::clone(&sw);
+                std::thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..40 {
+                        if let Ok(a) = sw.allocate(t, ((t + i) % 7 + 1) as u64 * KIB) {
+                            mine.push(a);
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let all: Vec<PoolAllocation> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        for a in &all {
+            for b in &all {
+                if a.id != b.id {
+                    assert_ne!(a.id, b.id);
+                    assert!(
+                        a.dpa_offset + a.len <= b.dpa_offset
+                            || b.dpa_offset + b.len <= a.dpa_offset,
+                        "allocations {} and {} overlap",
+                        a.id,
+                        b.id
+                    );
+                }
+            }
+        }
+        let acct = sw.accounting();
+        assert!(acct.conserves());
+    }
+
     proptest! {
         /// Pool accounting is conservation of capacity: after *any* sequence
         /// of allocate / release / bind / unbind operations, every byte of
         /// the pool is either assigned to exactly one host or unassigned —
         /// `unassigned_capacity() + Σ_host assigned_to(host) ==
-        /// total_capacity()` — and live allocations never overlap.
+        /// total_capacity()` — and live allocations never overlap. (The
+        /// multi-threaded variant of this property is the stress test above.)
         #[test]
         fn accounting_invariant_holds_across_random_sequences(
             raw_ops in collection::vec(any::<u64>(), 1..60)
         ) {
             const KIB: u64 = 1024;
             const HOSTS: usize = 4;
-            let mut sw = CxlSwitch::new("prop-switch");
+            let sw = CxlSwitch::new("prop-switch");
             for (i, cap) in [64 * KIB, 32 * KIB, 96 * KIB].into_iter().enumerate() {
                 sw.attach_device(Arc::new(Type3Device::new(
                     format!("prop-dev{i}"),
@@ -492,6 +840,8 @@ mod tests {
                 }
                 let assigned: u64 = (0..HOSTS).map(|h| sw.assigned_to(h)).sum();
                 prop_assert_eq!(sw.unassigned_capacity() + assigned, total);
+                let acct = sw.accounting();
+                prop_assert!(acct.conserves());
                 for a in &live {
                     for b in &live {
                         if a.id != b.id && a.port == b.port {

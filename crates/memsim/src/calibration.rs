@@ -85,6 +85,15 @@ pub const PMDK_OVERHEAD_FACTOR: f64 = 1.125;
 /// sequential streaming on DRAM-class devices.
 pub const RANDOM_ACCESS_EFFICIENCY: f64 = 0.35;
 
+/// Aggregate-efficiency loss per additional host sharing one pooled switch
+/// port: `efficiency(N) = 1 / (1 + loss · (N − 1))`. Pool-contention studies
+/// (PAPERS.md: "Evaluating Emerging CXL-enabled Memory Pooling for HPC
+/// Systems") see the aggregate shave by a few tens of percent at rack-level
+/// sharing — arbitration, credit churn and bank conflicts — rather than
+/// collapse; 2 % per extra requester keeps 16-way sharing at ≈ 77 % of the
+/// solo ceiling.
+pub const PORT_ARBITRATION_LOSS: f64 = 0.02;
+
 /// Ratio between DDR5 and DDR4 bandwidth the paper repeatedly leans on
 /// ("noting that DDR4 has about 50% bandwidth of DDR5").
 pub const DDR5_OVER_DDR4_RATIO: f64 = 2.0;

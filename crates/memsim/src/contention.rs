@@ -1,0 +1,186 @@
+//! Per-port bandwidth contention: N hosts sharing one pooled expander.
+//!
+//! The engine's roofline treatment already shares a device ceiling between
+//! the threads of *one* host, but a pooled CXL expander (paper §1.3, and the
+//! pooling studies in PAPERS.md) is hammered by **several hosts through one
+//! switch port**. Two effects matter there:
+//!
+//! 1. **Fair-share division** — the port's effective ceiling is divided
+//!    across the hosts driving it, so per-host bandwidth falls roughly as
+//!    `1/N`; there is no free lunch from multiplexing.
+//! 2. **Arbitration loss** — switch arbitration, link-layer credit churn and
+//!    on-card controller bank conflicts make the *aggregate* degrade slightly
+//!    as requesters are added: `efficiency(N) = 1 / (1 + loss · (N − 1))`.
+//!
+//! [`PortContention`] packages both for one NUMA node: the effective read and
+//! write ceilings (device ceiling min'd with every link on the socket-0 path,
+//! so a PCIe-limited expander is priced at the link, not the DRAM behind it)
+//! plus the arbitration-loss coefficient. [`Engine::port_contention`] builds
+//! it from the machine model; the fleet-serving scenario uses it to price
+//! service times when hundreds of streams share a handful of expander cards.
+//!
+//! [`Engine::port_contention`]: crate::engine::Engine::port_contention
+
+use crate::calibration as cal;
+
+/// Contention model for one pooled port (NUMA node): effective ceilings plus
+/// the per-requester arbitration loss. Build via
+/// [`Engine::port_contention`](crate::engine::Engine::port_contention).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortContention {
+    /// NUMA node this port exposes.
+    pub node: usize,
+    /// Device name (for reports).
+    pub device: String,
+    /// Effective read ceiling of the port (GB/s): device streaming ceiling
+    /// min'd with the narrowest link on the path.
+    pub read_ceiling_gbs: f64,
+    /// Effective write ceiling of the port (GB/s).
+    pub write_ceiling_gbs: f64,
+    /// Aggregate-efficiency loss per additional concurrent requester (see
+    /// [`cal::PORT_ARBITRATION_LOSS`]).
+    pub arbitration_loss: f64,
+}
+
+impl PortContention {
+    /// Aggregate efficiency with `hosts` concurrent requesters:
+    /// `1 / (1 + loss · (hosts − 1))`. One requester sees the full port;
+    /// every additional one shaves a little off the aggregate.
+    pub fn efficiency(&self, hosts: usize) -> f64 {
+        if hosts <= 1 {
+            1.0
+        } else {
+            1.0 / (1.0 + self.arbitration_loss * (hosts as f64 - 1.0))
+        }
+    }
+
+    /// Aggregate read bandwidth with `hosts` requesters (GB/s).
+    pub fn aggregate_read_gbs(&self, hosts: usize) -> f64 {
+        self.read_ceiling_gbs * self.efficiency(hosts)
+    }
+
+    /// Aggregate write bandwidth with `hosts` requesters (GB/s).
+    pub fn aggregate_write_gbs(&self, hosts: usize) -> f64 {
+        self.write_ceiling_gbs * self.efficiency(hosts)
+    }
+
+    /// Fair-share read bandwidth one of `hosts` requesters sees (GB/s).
+    pub fn per_host_read_gbs(&self, hosts: usize) -> f64 {
+        self.aggregate_read_gbs(hosts) / hosts.max(1) as f64
+    }
+
+    /// Fair-share write bandwidth one of `hosts` requesters sees (GB/s).
+    pub fn per_host_write_gbs(&self, hosts: usize) -> f64 {
+        self.aggregate_write_gbs(hosts) / hosts.max(1) as f64
+    }
+
+    /// Seconds one of `hosts` requesters needs to read `bytes` at fair share.
+    pub fn read_seconds(&self, bytes: u64, hosts: usize) -> f64 {
+        bytes as f64 / (self.per_host_read_gbs(hosts) * 1e9)
+    }
+
+    /// Seconds one of `hosts` requesters needs to write `bytes` at fair share.
+    pub fn write_seconds(&self, bytes: u64, hosts: usize) -> f64 {
+        bytes as f64 / (self.per_host_write_gbs(hosts) * 1e9)
+    }
+}
+
+/// Builds the default-calibrated contention model from raw ceilings.
+pub(crate) fn from_ceilings(
+    node: usize,
+    device: String,
+    read_ceiling_gbs: f64,
+    write_ceiling_gbs: f64,
+) -> PortContention {
+    PortContention {
+        node,
+        device,
+        read_ceiling_gbs,
+        write_ceiling_gbs,
+        arbitration_loss: cal::PORT_ARBITRATION_LOSS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::machines::sapphire_rapids_cxl_machine;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn cxl_port() -> PortContention {
+        Engine::new(sapphire_rapids_cxl_machine())
+            .port_contention(2)
+            .unwrap()
+    }
+
+    #[test]
+    fn one_host_sees_the_full_port() {
+        let port = cxl_port();
+        assert_eq!(port.efficiency(1), 1.0);
+        assert_eq!(port.efficiency(0), 1.0);
+        assert_eq!(port.per_host_read_gbs(1), port.read_ceiling_gbs);
+        assert_eq!(port.aggregate_write_gbs(1), port.write_ceiling_gbs);
+    }
+
+    #[test]
+    fn per_host_bandwidth_degrades_monotonically_with_hosts() {
+        let port = cxl_port();
+        let mut prev = f64::INFINITY;
+        for hosts in 1..=64 {
+            let share = port.per_host_read_gbs(hosts);
+            assert!(
+                share < prev,
+                "adding host {hosts} did not shrink the share ({share} vs {prev})"
+            );
+            assert!(share > 0.0);
+            prev = share;
+        }
+        // No free lunch: 16 hosts each see well under 1/10 of the port.
+        assert!(port.per_host_read_gbs(16) < port.read_ceiling_gbs / 10.0);
+    }
+
+    #[test]
+    fn aggregate_never_exceeds_the_ceiling_and_shrinks_with_arbitration() {
+        let port = cxl_port();
+        let mut prev = f64::INFINITY;
+        for hosts in 1..=64 {
+            let aggregate = port.aggregate_read_gbs(hosts);
+            assert!(aggregate <= port.read_ceiling_gbs + 1e-12);
+            assert!(aggregate <= prev + 1e-12, "aggregate grew at {hosts} hosts");
+            prev = aggregate;
+        }
+        // The loss is a shave, not a collapse: 16 sharers keep > 70 % of it.
+        assert!(port.aggregate_read_gbs(16) > 0.7 * port.read_ceiling_gbs);
+    }
+
+    #[test]
+    fn expander_port_is_priced_below_the_pcie_link() {
+        let port = cxl_port();
+        // The CXL prototype's DDR4-1333 subsystem, not the Gen5 x16 link, is
+        // the binding ceiling for node 2 on Setup #1.
+        assert!(port.read_ceiling_gbs <= crate::calibration::CXL_PROTOTYPE_CEILING_GBS);
+        assert!(port.write_ceiling_gbs > 0.0);
+        assert_eq!(port.node, 2);
+    }
+
+    #[test]
+    fn service_time_scales_with_bytes_and_sharers() {
+        let port = cxl_port();
+        let solo = port.write_seconds(GB, 1);
+        let shared = port.write_seconds(GB, 8);
+        assert!(
+            shared > 7.9 * solo,
+            "8-way sharing must cost ~8x: {shared} vs {solo}"
+        );
+        let double = port.write_seconds(2 * GB, 1);
+        assert!((double / solo - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let engine = Engine::new(sapphire_rapids_cxl_machine());
+        assert!(engine.port_contention(17).is_err());
+    }
+}

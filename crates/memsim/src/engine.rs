@@ -505,6 +505,31 @@ impl Engine {
         phases.iter().map(|p| self.simulate(p)).collect()
     }
 
+    /// Builds the per-port contention model for `node`: the effective read
+    /// and write ceilings of the pooled port (device streaming ceiling min'd
+    /// with every link on the socket-0 path, so a PCIe-limited expander is
+    /// priced at the link) plus the calibrated arbitration loss. The fleet
+    /// scenario uses this to price N hosts hammering one expander — per-host
+    /// bandwidth falls as `1/N` with an extra arbitration shave, instead of
+    /// each host seeing the full device.
+    pub fn port_contention(&self, node: usize) -> Result<crate::contention::PortContention> {
+        let device = self.machine.device(node)?;
+        let mut read = device.read_bw_gbs;
+        let mut write = device.write_bw_gbs;
+        if let Ok(path) = self.machine.path(0, node) {
+            for link in &path.links {
+                read = read.min(link.bandwidth_gbs);
+                write = write.min(link.bandwidth_gbs);
+            }
+        }
+        Ok(crate::contention::from_ceilings(
+            node,
+            device.name.clone(),
+            read,
+            write,
+        ))
+    }
+
     /// Estimates what one bulk chunk migration costs: `cpus` cooperatively
     /// stream `bytes` out of node `from` and into node `to` (a read-only
     /// phase against the source overlapped with a write-only phase against

@@ -27,12 +27,31 @@
 //!
 //! Calibration constants live in [`calibration`] with the paper sentence they
 //! were derived from.
+//!
+//! # Example
+//!
+//! Build the paper's Setup #1 machine, then price port contention on the
+//! CXL expander (NUMA node 2): the per-host share degrades as more hosts
+//! multiplex the port:
+//!
+//! ```
+//! use memsim::{machines, Engine, PortContention};
+//!
+//! let engine = Engine::new(machines::sapphire_rapids_cxl_machine());
+//! let port: PortContention = engine.port_contention(2).unwrap();
+//!
+//! assert!(port.per_host_read_gbs(8) < port.per_host_read_gbs(1));
+//! // Aggregate throughput still rises with sharers, it just splits thinner.
+//! assert!(port.aggregate_read_gbs(8) <= port.read_ceiling_gbs);
+//! assert!(port.read_seconds(1 << 30, 8) > port.read_seconds(1 << 30, 1));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
 pub mod calibration;
+pub mod contention;
 pub mod device;
 pub mod engine;
 pub mod error;
@@ -43,6 +62,7 @@ pub mod trace;
 pub mod units;
 
 pub use access::{AccessPattern, ThreadTraffic, TrafficPhase};
+pub use contention::PortContention;
 pub use device::{DeviceKind, DeviceSpec};
 pub use engine::{Bottleneck, Engine, PhaseReport};
 pub use error::SimError;

@@ -33,6 +33,25 @@
 //! The crate denies `unsafe_code` everywhere except [`pool`], whose epoch
 //! barrier needs one audited lifetime erasure (see the safety argument in the
 //! module docs); that module is covered by the nightly Miri CI job.
+//!
+//! # Example
+//!
+//! Place eight threads *close* on the paper's Setup #1 topology — they pack
+//! onto socket 0, next to the local DDR5 and the CXL expander's home port:
+//!
+//! ```
+//! use numa::{topology, AffinityPolicy};
+//!
+//! let topo = topology::sapphire_rapids_cxl();
+//! let placement = AffinityPolicy::close().place(&topo, 8).unwrap();
+//!
+//! assert_eq!(placement.len(), 8);
+//! // Every CPU of a close placement lives on the first socket.
+//! assert!(placement
+//!     .cpus()
+//!     .iter()
+//!     .all(|&cpu| topo.socket_of_cpu(cpu) == Some(0)));
+//! ```
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]

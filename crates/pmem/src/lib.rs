@@ -36,6 +36,26 @@
 //! The store is **functional**: bytes really are written, checksums really are
 //! validated, transactions really roll back after a simulated crash. What is
 //! *not* claimed is cycle-accurate performance — timing belongs to `memsim`.
+//!
+//! # Example
+//!
+//! Checkpoint an 8 KiB state image into a double-buffered
+//! [`CheckpointRegion`] and restore the committed epoch bit-exact:
+//!
+//! ```
+//! use pmem::{CheckpointRegion, PmemPool};
+//!
+//! let size = CheckpointRegion::required_pool_size(8192, 1024).max(1 << 20);
+//! let pool = PmemPool::create_volatile("doc", size).unwrap();
+//! let mut region = CheckpointRegion::format(&pool, 8192, 1024).unwrap();
+//!
+//! let state = vec![7u8; 8192];
+//! region.checkpoint(&state).unwrap();
+//!
+//! let mut restored = vec![0u8; 8192];
+//! assert_eq!(region.restore(&mut restored).unwrap(), 1); // epoch 1
+//! assert_eq!(restored, state);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -23,6 +23,28 @@
 //!   kernel + thread placement + data placement + access mode into the
 //!   simulated bandwidth the harness plots, while the functional kernels above
 //!   are used to validate correctness of the data path.
+//!
+//! # Example
+//!
+//! Run the four STREAM kernels over heap arrays with two pinned workers and
+//! check Triad against its analytic expectation:
+//!
+//! ```
+//! use numa::{topology, AffinityPolicy, PinnedPool};
+//! use stream_bench::{Kernel, StreamConfig, VolatileStream};
+//!
+//! let topo = topology::sapphire_rapids_cxl();
+//! let placement = AffinityPolicy::close().place(&topo, 2).unwrap();
+//! let pool = PinnedPool::new(&topo, &placement);
+//!
+//! let mut stream = VolatileStream::new(StreamConfig {
+//!     elements: 1001,
+//!     ntimes: 2,
+//!     scalar: 3.0,
+//! });
+//! let report = stream.run(&pool);
+//! assert!(report.best(Kernel::Triad).is_some());
+//! ```
 
 #![warn(missing_docs)]
 // `deny` rather than `forbid`: the `exec` module opts back in for the two

@@ -21,8 +21,27 @@
 //!   expansion sweep under static-spill vs adaptive chunk-placement policies,
 //!   with the "adaptive matches or beats static at every size" verdict CI
 //!   enforces.
+//! * [`fleet`] — the fleet-serving scenario: hundreds of concurrent
+//!   checkpoint/restore streams through QoS admission control over the
+//!   contended pool, reporting p50/p99/p999 per class into
+//!   `BENCH_fleet.json`.
 //! * [`dataflow`] — ASCII renderings of the setup/data-flow diagrams
 //!   (Figures 1–4 and 9).
+//!
+//! # Example
+//!
+//! Drive the fleet-serving scenario — 280 streams through QoS admission over
+//! the contended pool — and check the gated verdict:
+//!
+//! ```
+//! use streamer::fleet;
+//!
+//! let report = fleet::run_fleet().unwrap();
+//! assert!(report.total_streams() >= 200);
+//! assert!(report.all_hold()); // tail budget + typed rejection + conservation
+//! let json = fleet::report_json(&report); // the BENCH_fleet.json document
+//! assert!(json.contains("\"checkpoint_p99_over_uncontended\""));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,6 +49,7 @@
 pub mod analysis;
 pub mod dataflow;
 pub mod figures;
+pub mod fleet;
 pub mod groups;
 pub mod scenarios;
 pub mod tables;
@@ -37,6 +57,7 @@ pub mod tiering;
 
 pub use analysis::Analysis;
 pub use figures::{FigureData, TrendSeries};
+pub use fleet::{fleet_table, ClassStats, FleetReport};
 pub use groups::{TestGroup, Trend};
 pub use scenarios::{disaggregation_table, RestartReport, RestartScenario};
 pub use tables::{headline_table, table1, table2};

@@ -3,8 +3,8 @@
 //! ```text
 //! streamer figure --kernel scale [--group 1b] [--csv] [--out DIR]
 //! streamer group  1a|1b|1c|2a|2b [--kernel triad]
-//! streamer table  1|2|headline|disaggregation|tiering
-//! streamer scenario restart|tiering
+//! streamer table  1|2|headline|disaggregation|tiering|fleet
+//! streamer scenario restart|tiering|fleet
 //! streamer analysis
 //! streamer topology [--setup 1|2|dcpmm]
 //! streamer all --out DIR
@@ -34,7 +34,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation|tiering>\n  streamer scenario <restart|tiering>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
+    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation|tiering|fleet>\n  streamer scenario <restart|tiering|fleet>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
 }
 
 /// Parses `--key value` and `--flag` style options.
@@ -163,9 +163,10 @@ fn cmd_table(positional: &[String]) -> Result<(), String> {
         "headline" => headline_table().map_err(|e| e.to_string())?,
         "disaggregation" => disaggregation_table().map_err(|e| e.to_string())?,
         "tiering" => streamer::tiering_table().map_err(|e| e.to_string())?,
+        "fleet" => streamer::fleet_table().map_err(|e| e.to_string())?,
         other => {
             return Err(format!(
-                "unknown table '{other}' (use 1, 2, headline, disaggregation or tiering)"
+                "unknown table '{other}' (use 1, 2, headline, disaggregation, tiering or fleet)"
             ))
         }
     };
@@ -202,8 +203,21 @@ fn cmd_scenario(positional: &[String]) -> Result<(), String> {
                 )
             }
         }
+        "fleet" => {
+            let report = streamer::fleet::run_fleet().map_err(|e| e.to_string())?;
+            println!("{}", streamer::fleet::render_table(&report).to_markdown());
+            let json = streamer::fleet::report_json(&report);
+            std::fs::write("BENCH_fleet.json", &json).map_err(|e| e.to_string())?;
+            println!("wrote BENCH_fleet.json");
+            if report.all_hold() {
+                println!("fleet serving holds: checkpoint tail protected, overload rejected");
+                Ok(())
+            } else {
+                Err("the fleet-serving gate failed — see the table above".to_string())
+            }
+        }
         other => Err(format!(
-            "unknown scenario '{other}' (use restart or tiering)"
+            "unknown scenario '{other}' (use restart, tiering or fleet)"
         )),
     }
 }
@@ -289,6 +303,13 @@ fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
         Some(&out),
         "tiering.md",
         &streamer::tiering_table()
+            .map_err(|e| e.to_string())?
+            .to_markdown(),
+    )?;
+    emit(
+        Some(&out),
+        "fleet.md",
+        &streamer::fleet_table()
             .map_err(|e| e.to_string())?
             .to_markdown(),
     )?;

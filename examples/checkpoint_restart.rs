@@ -10,6 +10,10 @@
 //! mid-commit, reboots via `restore_region`, and resumes from the last
 //! committed epoch.
 //!
+//! Paper: §1.2/§1.4 (persistent memory for fault tolerance, the `libpmemobj`
+//! programming model) and §5 (CXL memory as PMem for HPC). ROADMAP
+//! subsystem: **Durability** (`ROADMAP.md`).
+//!
 //! Run with: `cargo run --example checkpoint_restart`
 //!
 //! [`CheckpointRegion`]: streamer_repro::pmem::CheckpointRegion

@@ -8,6 +8,9 @@
 //! discipline is enforced, not advisory: restoring without the acquire is a
 //! typed error instead of silently stale data.
 //!
+//! Paper: §1.3 (memory pooling) and §2.2 (multi-headed sharing, coherence
+//! management). ROADMAP subsystem: **Disaggregation** (`ROADMAP.md`).
+//!
 //! Run with: `cargo run --example shared_far_memory`
 
 use streamer_repro::cxl_pmem::cluster::{

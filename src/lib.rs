@@ -14,6 +14,25 @@
 //! * [`numa`] — topology, affinity and memory-binding policies.
 //! * [`stream`] — STREAM / STREAM-PMem kernels and the simulated runner.
 //! * [`streamer`] — the evaluation harness regenerating every figure/table.
+//!
+//! # Example
+//!
+//! Bring up the paper's Setup #1 and ask the model for a Triad point on the
+//! CXL expander — the one-liner version of `examples/quickstart.rs`:
+//!
+//! ```
+//! use streamer_repro::cxl_pmem::{AccessMode, CxlPmemRuntime};
+//! use streamer_repro::numa::AffinityPolicy;
+//! use streamer_repro::stream::{Kernel, SimulatedStream, StreamConfig};
+//!
+//! let runtime = CxlPmemRuntime::setup1();
+//! let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
+//! let stream = SimulatedStream::new(&runtime, StreamConfig::paper());
+//! let point = stream
+//!     .simulate(Kernel::Triad, &placement, 2, AccessMode::AppDirect)
+//!     .unwrap();
+//! assert!(point.bandwidth_gbs > 0.0);
+//! ```
 
 pub use cxl;
 pub use cxl_pmem;

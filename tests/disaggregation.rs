@@ -11,7 +11,7 @@ const GIB: u64 = 1024 * 1024 * 1024;
 
 #[test]
 fn rack_pool_provisions_and_reclaims_capacity_across_hosts() {
-    let mut switch = CxlSwitch::new("rack");
+    let switch = CxlSwitch::new("rack");
     for _ in 0..4 {
         switch.attach_device(FpgaPrototype::paper_prototype().endpoint());
     }

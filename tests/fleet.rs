@@ -1,0 +1,235 @@
+//! Fleet-serving integration tests: the QoS admission front door and the
+//! concurrent cluster-serving path, exercised through the public facade the
+//! way an operator's control plane would use them.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use streamer_repro::cxl::FpgaPrototype;
+use streamer_repro::cxl_pmem::cluster::{CoherenceMode, DisaggregatedCluster};
+use streamer_repro::cxl_pmem::{
+    AdmissionController, AdmissionError, ClassConfig, ClusterError, Decision, QosClass,
+};
+use streamer_repro::streamer::fleet;
+
+const MIB: u64 = 1024 * 1024;
+
+fn three(config: ClassConfig) -> AdmissionController {
+    AdmissionController::new([config, config, config])
+}
+
+#[test]
+fn zero_capacity_class_always_rejects_with_a_typed_error() {
+    let controller = AdmissionController::new([
+        ClassConfig {
+            rate_bytes_per_sec: 1e9,
+            burst_bytes: 64 * MIB,
+            queue_depth: 8,
+        },
+        ClassConfig::closed(),
+        ClassConfig::closed(),
+    ]);
+    // The closed classes reject every request, no matter how small or late.
+    for now in [0.0, 1.0, 3600.0] {
+        for class in [QosClass::Restore, QosClass::Background] {
+            match controller.submit(class, 1, now) {
+                Err(AdmissionError::ClassClosed { class: c }) => assert_eq!(c, class),
+                other => panic!("closed {class} admitted: {other:?}"),
+            }
+        }
+    }
+    // The open class is unaffected.
+    assert!(matches!(
+        controller.submit(QosClass::Checkpoint, MIB, 0.0),
+        Ok(Decision::Admitted(_))
+    ));
+}
+
+#[test]
+fn burst_exactly_at_the_limit_is_admitted_and_one_byte_more_is_not() {
+    let controller = three(ClassConfig {
+        rate_bytes_per_sec: 1e9,
+        burst_bytes: 256 * MIB,
+        queue_depth: 4,
+    });
+    // bytes == burst is the largest admissible request and, with a full
+    // bucket, goes straight to service.
+    match controller.submit(QosClass::Checkpoint, 256 * MIB, 0.0) {
+        Ok(Decision::Admitted(permit)) => assert_eq!(permit.bytes, 256 * MIB),
+        other => panic!("exact-burst request refused: {other:?}"),
+    }
+    // bytes == burst + 1 can never fit any bucket: typed, not queued.
+    match controller.submit(QosClass::Checkpoint, 256 * MIB + 1, 0.0) {
+        Err(AdmissionError::RequestTooLarge {
+            requested, burst, ..
+        }) => {
+            assert_eq!(requested, 256 * MIB + 1);
+            assert_eq!(burst, 256 * MIB);
+        }
+        other => panic!("oversized request not refused: {other:?}"),
+    }
+}
+
+#[test]
+fn simultaneous_overload_of_every_class_rejects_in_order_and_drains_by_priority() {
+    let controller = three(ClassConfig {
+        rate_bytes_per_sec: 64.0 * MIB as f64,
+        burst_bytes: 64 * MIB,
+        queue_depth: 2,
+    });
+    // Drain each bucket with one burst-sized admit, then overload: two
+    // queue slots fill, every further submit is a typed QueueFull.
+    for class in QosClass::ALL {
+        assert!(matches!(
+            controller.submit(class, 64 * MIB, 0.0),
+            Ok(Decision::Admitted(_))
+        ));
+        for _ in 0..2 {
+            assert!(matches!(
+                controller.submit(class, 32 * MIB, 0.0),
+                Ok(Decision::Queued(_))
+            ));
+        }
+        for _ in 0..3 {
+            match controller.submit(class, 32 * MIB, 0.0) {
+                Err(AdmissionError::QueueFull { class: c, depth }) => {
+                    assert_eq!(c, class);
+                    assert_eq!(depth, 2);
+                }
+                other => panic!("overloaded {class} not refused: {other:?}"),
+            }
+        }
+    }
+    // Once every bucket has refilled, one poll drains all queues — and the
+    // grants come out priority-first: every Checkpoint before any Restore,
+    // every Restore before any Background.
+    let grants = controller.poll(10.0);
+    assert_eq!(grants.len(), 6);
+    let order: Vec<QosClass> = grants.iter().map(|p| p.class).collect();
+    let boundary_ckpt = order.iter().rposition(|c| *c == QosClass::Checkpoint);
+    let first_bg = order.iter().position(|c| *c == QosClass::Background);
+    assert_eq!(boundary_ckpt, Some(1), "checkpoints drain first: {order:?}");
+    assert_eq!(first_bg, Some(4), "background drains last: {order:?}");
+}
+
+#[test]
+fn concurrent_submitters_never_lose_or_double_serve_work() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 64;
+
+    let controller = three(ClassConfig {
+        rate_bytes_per_sec: 256.0 * MIB as f64,
+        burst_bytes: 64 * MIB,
+        queue_depth: 16,
+    });
+    let mut admitted: Vec<u64> = Vec::new();
+    let mut queued = 0usize;
+    let mut rejected = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let controller = &controller;
+                scope.spawn(move || {
+                    let mut admitted = Vec::new();
+                    let (mut queued, mut rejected) = (0usize, 0usize);
+                    for i in 0..PER_THREAD {
+                        let class = QosClass::ALL[(t + i) % 3];
+                        let now = i as f64 * 0.01;
+                        match controller.submit(class, MIB, now) {
+                            Ok(Decision::Admitted(p)) => admitted.push(p.grant),
+                            Ok(Decision::Queued(_)) => queued += 1,
+                            Err(_) => rejected += 1,
+                        }
+                    }
+                    (admitted, queued, rejected)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (a, q, r) = handle.join().unwrap();
+            admitted.extend(a);
+            queued += q;
+            rejected += r;
+        }
+    });
+    // Every request got exactly one outcome...
+    assert_eq!(admitted.len() + queued + rejected, THREADS * PER_THREAD);
+    // ...and queued work drains exactly once, with grant ids never reused.
+    let mut grants: HashSet<u64> = admitted.into_iter().collect();
+    let mut drained = 0usize;
+    let mut later = 1_000.0;
+    while drained < queued {
+        let batch = controller.poll(later);
+        assert!(!batch.is_empty(), "queued work went missing");
+        for permit in batch {
+            assert!(grants.insert(permit.grant), "grant served twice");
+            drained += 1;
+        }
+        later += 1_000.0;
+    }
+    assert!(controller.poll(later).is_empty());
+}
+
+#[test]
+fn cluster_serving_conserves_pool_accounting_under_concurrency() {
+    const THREADS: usize = 8;
+    const DATA: u64 = 64 * 1024;
+
+    let cluster = DisaggregatedCluster::new("fleet-it", CoherenceMode::SoftwareManaged);
+    for _ in 0..4 {
+        cluster.attach_device(FpgaPrototype::paper_prototype().endpoint());
+    }
+    let total = cluster.total_capacity();
+    let ok = AtomicBool::new(true);
+    std::thread::scope(|scope| {
+        for host in 0..THREADS {
+            let cluster = &cluster;
+            let ok = &ok;
+            scope.spawn(move || {
+                let image = vec![host as u8; DATA as usize];
+                let outcome = (|| -> Result<(), ClusterError> {
+                    let name = format!("it-h{host}");
+                    let mut seg = cluster.host(host).create_segment(&name, DATA, 4096)?;
+                    seg.checkpoint(&image)?;
+                    let mut out = vec![0u8; DATA as usize];
+                    seg.restore(&mut out)?;
+                    assert_eq!(out, image);
+                    // Accounting snapshots taken mid-flight, from the
+                    // serving threads themselves, must conserve.
+                    let acct = cluster.accounting();
+                    if !acct.conserves() {
+                        ok.store(false, Ordering::Relaxed);
+                    }
+                    drop(seg);
+                    cluster.release_segment(&name)
+                })();
+                if outcome.is_err() {
+                    ok.store(false, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert!(ok.load(Ordering::Relaxed), "conservation broke mid-serving");
+    let acct = cluster.accounting();
+    assert!(acct.conserves());
+    assert_eq!(acct.unassigned, total);
+    assert_eq!(acct.assigned_total(), 0);
+}
+
+#[test]
+fn fleet_scenario_meets_its_gates_through_the_facade() {
+    let report = fleet::run_fleet().unwrap();
+    assert!(report.all_hold(), "fleet gates failed: {report:?}");
+    assert!(report.total_streams() >= 200);
+    assert!(report.hosts >= 16);
+    // The JSON document CI archives carries all three classes.
+    let json = fleet::report_json(&report);
+    for key in [
+        "\"checkpoint\"",
+        "\"restore\"",
+        "\"background\"",
+        "\"p999_ms\"",
+        "\"checkpoint_p99_over_uncontended\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}
