@@ -1,0 +1,49 @@
+//! Calibration: the silicon-validated machine-model gate and its hot paths.
+//!
+//! Two things happen here. First, the calibration table
+//! ([`memsim::calibration::run_calibration`]) is computed once — every named
+//! reference topology is ingested from its plain-text description and the
+//! engine's predictions are compared against CXL-DMSim / published
+//! measurements — and the result is written to `BENCH_calibration.json` at
+//! the repository root, where the CI `bench-smoke` job gates the maximum
+//! relative error against [`memsim::calibration::CALIBRATION_ERROR_BOUND`].
+//! Second, criterion times the ingest hot paths: parsing + compiling a
+//! description into a device graph, and a full calibration run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::calibration::{calibration_json, run_calibration, CALIBRATION_ERROR_BOUND};
+use memsim::topology::{reference, TopologyDescription};
+use std::hint::black_box;
+
+fn calibration(c: &mut Criterion) {
+    // --- the gated report --------------------------------------------------
+    let report = run_calibration();
+    print!("{}", report.render());
+    assert!(
+        report.all_hold(),
+        "a calibration row drifted past the {:.0}% bound — see the table above",
+        CALIBRATION_ERROR_BOUND * 100.0
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_calibration.json");
+    std::fs::write(out, calibration_json(&report)).expect("write BENCH_calibration.json");
+    println!("wrote {out}");
+
+    // --- criterion timing --------------------------------------------------
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    group.bench_function("ingest_reference_topology", |b| {
+        b.iter(|| {
+            let description =
+                TopologyDescription::parse(black_box(reference::SPR_DUAL_CXL_INTERLEAVE))
+                    .expect("reference parses");
+            black_box(description.compile()).expect("reference compiles")
+        })
+    });
+    group.bench_function("run_calibration", |b| {
+        b.iter(|| black_box(run_calibration()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, calibration);
+criterion_main!(benches);

@@ -96,7 +96,9 @@ pub use backend::CxlDeviceBackend;
 pub use cluster::{ClusterError, ClusterHost, DisaggregatedCluster, HostSegment};
 pub use modes::{AccessMode, ModeProperties};
 pub use placement::{ExpansionPlan, TierPolicy};
-pub use runtime::{CxlPmemRuntime, ManagedPool, PooledChunkExecutor, RuntimeError, SetupKind};
+pub use runtime::{
+    CxlPmemRuntime, InterleavedWindow, ManagedPool, PooledChunkExecutor, RuntimeError, SetupKind,
+};
 pub use tiering::{
     assignment_bandwidth, AccessTracker, BandwidthAwarePolicy, ChunkHeat, HotGreedyPolicy,
     MigrationCrash, MigrationPhase, MigrationStats, PlanContext, StaticSpillPolicy, TierAssignment,

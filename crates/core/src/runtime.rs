@@ -3,7 +3,8 @@
 use crate::backend::CxlDeviceBackend;
 use crate::modes::AccessMode;
 use crate::placement::TierPolicy;
-use cxl::FpgaPrototype;
+use cxl::fpga::{DdrChannelSpec, SoftIpConfig};
+use cxl::{FpgaPrototype, InterleaveSet, LinkConfig, Type3Device};
 use memsim::access::{ThreadTraffic, TrafficPhase};
 use memsim::{Engine, Machine, PhaseReport, SimError};
 use numa::{AffinityPolicy, NodeId, NumaError, PinnedPool, ThreadPlacement, Topology};
@@ -43,6 +44,8 @@ pub enum RuntimeError {
     /// A tiering operation failed (capacity shortfall, malformed assignment,
     /// stale plan, ...).
     Tiering(&'static str),
+    /// A plain-text topology description failed to parse or compile.
+    Topology(memsim::TopologyError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -65,6 +68,7 @@ impl fmt::Display for RuntimeError {
                 "tier on node {node} has no persistent backing to restore from"
             ),
             RuntimeError::Tiering(msg) => write!(f, "tiering error: {msg}"),
+            RuntimeError::Topology(e) => write!(f, "topology ingest error: {e}"),
         }
     }
 }
@@ -95,6 +99,11 @@ impl From<NumaError> for RuntimeError {
         RuntimeError::Numa(e)
     }
 }
+impl From<memsim::TopologyError> for RuntimeError {
+    fn from(e: memsim::TopologyError) -> Self {
+        RuntimeError::Topology(e)
+    }
+}
 
 /// Which of the paper's evaluation platforms a runtime models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +116,76 @@ pub enum SetupKind {
     SapphireRapidsDcpmm,
     /// A caller-provided machine.
     Custom,
+    /// A machine compiled from a plain-text topology description
+    /// (CEDT/SRAT-shaped ingest, see [`memsim::topology`]).
+    Ingested,
+}
+
+/// A compiled CFMWS interleave window realised functionally: one Type-3
+/// endpoint per interleave way, each programmed — via [`InterleaveSet`] —
+/// with exactly the HDM slice it owns. Consecutive `granularity`-sized
+/// granules of the window's HPA range rotate across the endpoints, so
+/// bandwidth aggregates across ways the same way the `memsim` window device
+/// does analytically.
+#[derive(Debug)]
+pub struct InterleavedWindow {
+    name: String,
+    set: InterleaveSet,
+    endpoints: Vec<Arc<Type3Device>>,
+}
+
+impl InterleavedWindow {
+    fn from_compiled(w: &memsim::topology::CompiledWindow) -> Self {
+        // `compile()` enforces CXL-spec geometry (ways ∈ {1,2,4,8,16},
+        // power-of-two granularity, uniform aligned way capacity, aligned
+        // HPA base), so realising the window cannot fail.
+        let set = InterleaveSet::new(w.hpa_base, w.total_bytes(), w.granularity, w.ways() as u8)
+            .expect("compiled windows carry CXL-spec interleave geometry");
+        let endpoints = w
+            .way_names
+            .iter()
+            .enumerate()
+            .map(|(position, name)| {
+                let device =
+                    Type3Device::new(name.clone(), w.way_capacity_bytes, LinkConfig::gen5_x16());
+                device
+                    .program_hdm(
+                        set.way_range(position as u8)
+                            .expect("position is within the interleave set"),
+                    )
+                    .expect("way range fits the way capacity");
+                device.set_memory_enable(true);
+                Arc::new(device)
+            })
+            .collect();
+        InterleavedWindow {
+            name: w.name.clone(),
+            set,
+            endpoints,
+        }
+    }
+
+    /// Window name (from the `[window.NAME]` section of the description).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The interleave geometry (HPA base, length, granularity, ways).
+    pub fn set(&self) -> &InterleaveSet {
+        &self.set
+    }
+
+    /// Per-way endpoints in interleave-position order.
+    pub fn endpoints(&self) -> &[Arc<Type3Device>] {
+        &self.endpoints
+    }
+
+    /// Routes a host-physical address to the endpoint that owns it and the
+    /// device-local address it decodes to. Returns `None` outside the window.
+    pub fn route(&self, hpa: u64) -> Option<(&Arc<Type3Device>, u64)> {
+        let (way, dpa) = self.set.translate(hpa).ok()?;
+        Some((&self.endpoints[way as usize], dpa))
+    }
 }
 
 /// A pool managed by the runtime: the PMDK-style pool plus where it lives.
@@ -198,6 +277,9 @@ pub struct CxlPmemRuntime {
     kind: SetupKind,
     engine: Engine,
     fpga: Option<FpgaPrototype>,
+    /// Interleave windows realised from an ingested description (empty for
+    /// the hand-built presets).
+    interleaves: Vec<InterleavedWindow>,
     /// Resident worker pools keyed by placement (CPU list). Every STREAM
     /// invocation with the same placement reuses the same parked OS threads —
     /// the runtime, not each stream, owns the worker lifecycle.
@@ -210,6 +292,7 @@ impl CxlPmemRuntime {
             kind,
             engine,
             fpga,
+            interleaves: Vec::new(),
             worker_pools: Mutex::new(HashMap::new()),
         }
     }
@@ -255,6 +338,87 @@ impl CxlPmemRuntime {
     /// Wraps a caller-provided machine (ablations, upgraded prototypes...).
     pub fn custom(machine: Machine, fpga: Option<FpgaPrototype>) -> Self {
         Self::from_parts(SetupKind::Custom, Engine::new(machine), fpga)
+    }
+
+    /// Builds a runtime from a plain-text topology description — the
+    /// CEDT/SRAT-shaped ingest format of [`memsim::topology`]. The text is
+    /// parsed and compiled into the machine model; if the machine has a
+    /// CPU-less memory node, a functional Type-3 expander sized from the
+    /// ingested device specification backs it (so pools on the CXL tier
+    /// really store bytes), and every declared `[window.*]` becomes an
+    /// [`InterleavedWindow`] with one endpoint per interleave way.
+    ///
+    /// Malformed descriptions surface as [`RuntimeError::Topology`].
+    pub fn from_description(text: &str) -> crate::Result<Self> {
+        let description = memsim::TopologyDescription::parse(text)?;
+        Ok(Self::from_ingested(description.compile()?))
+    }
+
+    /// Builds a runtime from an already-compiled [`memsim::IngestedTopology`].
+    pub fn from_ingested(ingested: memsim::IngestedTopology) -> Self {
+        let memsim::IngestedTopology { machine, windows } = ingested;
+        let fpga = machine
+            .topology()
+            .memory_only_nodes()
+            .next()
+            .map(|n| n.id)
+            .map(|node| {
+                let device = machine
+                    .device(node)
+                    .expect("compiled topologies back every memory node with a device");
+                let hpa_base = windows
+                    .iter()
+                    .find(|w| w.node == node)
+                    .map(|w| w.hpa_base)
+                    .unwrap_or(0x20_0000_0000);
+                let fpga = Self::functional_expander(device);
+                let _ = fpga.enumerate(hpa_base);
+                fpga
+            });
+        let mut runtime = Self::from_parts(SetupKind::Ingested, Engine::new(machine), fpga);
+        runtime.interleaves = windows
+            .iter()
+            .map(InterleavedWindow::from_compiled)
+            .collect();
+        runtime
+    }
+
+    /// A functional expander mirroring an ingested [`memsim::DeviceSpec`]:
+    /// same name, capacity and channel count; soft-IP bandwidth set to the
+    /// spec's read ceiling; pipeline latency set so link + pipeline add up to
+    /// the spec's idle latency.
+    fn functional_expander(device: &memsim::DeviceSpec) -> FpgaPrototype {
+        let channels = u64::from(device.channels.max(1));
+        let per_channel = device.capacity_bytes / channels;
+        let remainder = device.capacity_bytes - per_channel * channels;
+        // Pick a channel speed whose aggregate sustained bandwidth covers the
+        // spec's ceiling, so the soft-IP slice is the binding limit — as on
+        // the paper's prototype.
+        let per_channel_gbs =
+            device.read_bw_gbs / channels as f64 / memsim::calibration::DDR_STREAM_EFFICIENCY;
+        let speed_mts = ((per_channel_gbs * 1000.0 / 8.0).ceil() as u32).max(1);
+        let specs = (0..channels)
+            .map(|i| DdrChannelSpec {
+                capacity_bytes: per_channel + if i == 0 { remainder } else { 0 },
+                speed_mts,
+            })
+            .collect();
+        FpgaPrototype::custom(
+            device.name.clone(),
+            LinkConfig::gen5_x16(),
+            SoftIpConfig {
+                slices: 1,
+                per_slice_bandwidth_gbs: device.read_bw_gbs,
+                pipeline_latency_ns: (device.idle_latency_ns - 95.0).max(0.0),
+            },
+            specs,
+        )
+    }
+
+    /// Interleave windows realised from an ingested topology description
+    /// (empty for the hand-built presets and [`custom`](Self::custom)).
+    pub fn interleaved_windows(&self) -> &[InterleavedWindow] {
+        &self.interleaves
     }
 
     /// Which setup this runtime models.
@@ -650,6 +814,67 @@ mod tests {
         let dcpmm = CxlPmemRuntime::dcpmm_baseline();
         assert_eq!(dcpmm.setup(), SetupKind::SapphireRapidsDcpmm);
         assert!(dcpmm.fpga().is_none());
+    }
+
+    #[test]
+    fn ingested_runtime_provisions_pools_from_the_description() {
+        let rt = CxlPmemRuntime::from_description(memsim::topology::reference::SPR_FPGA_CXL)
+            .expect("reference description ingests");
+        assert_eq!(rt.setup(), SetupKind::Ingested);
+        assert!(rt.fpga().is_some());
+        assert!(rt.interleaved_windows().is_empty());
+        let pool = rt
+            .provision_pool(&TierPolicy::CxlExpander, "stream", 8 * 1024 * 1024)
+            .unwrap();
+        assert_eq!(pool.mount(), "/mnt/pmem2");
+        let array = PersistentArray::<f64>::allocate(pool.pool(), 1000).unwrap();
+        array.fill(1.5).unwrap();
+        array.persist_all().unwrap();
+        assert!(rt.fpga().unwrap().endpoint().stats().bytes_written >= 8000);
+        // The functional card mirrors the ingested spec.
+        let device = rt.machine().device(2).unwrap();
+        let fpga = rt.fpga().unwrap();
+        assert_eq!(fpga.capacity_bytes(), device.capacity_bytes);
+        assert!((fpga.effective_bandwidth_gbs() - device.read_bw_gbs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ingested_interleave_window_partitions_the_hpa_space() {
+        let rt =
+            CxlPmemRuntime::from_description(memsim::topology::reference::SPR_DUAL_CXL_INTERLEAVE)
+                .expect("reference description ingests");
+        let windows = rt.interleaved_windows();
+        assert_eq!(windows.len(), 1);
+        let window = &windows[0];
+        assert_eq!(window.endpoints().len(), 2);
+        // Each way's decoder owns exactly its share of the window.
+        for endpoint in window.endpoints() {
+            assert_eq!(endpoint.mapped_bytes(), window.set().local_bytes());
+            assert!(endpoint.memory_enabled());
+        }
+        // Consecutive granules rotate across the two endpoints.
+        let base = window.set().hpa_base();
+        let gran = window.set().granularity();
+        let (first, dpa0) = window.route(base).unwrap();
+        let (second, dpa1) = window.route(base + gran).unwrap();
+        assert_eq!(first.name(), window.endpoints()[0].name());
+        assert_eq!(second.name(), window.endpoints()[1].name());
+        assert_eq!(dpa0, 0);
+        assert_eq!(dpa1, 0); // device-local blocks are densely packed
+        let (wrap, dpa2) = window.route(base + 2 * gran).unwrap();
+        assert_eq!(wrap.name(), window.endpoints()[0].name());
+        assert_eq!(dpa2, gran);
+        assert!(window.route(base + window.set().len_bytes()).is_none());
+    }
+
+    #[test]
+    fn malformed_description_is_a_typed_runtime_error() {
+        let err = match CxlPmemRuntime::from_description("[machine]\nname = \"empty\"\n") {
+            Err(e) => e,
+            Ok(_) => panic!("empty machine must not ingest"),
+        };
+        assert!(matches!(err, RuntimeError::Topology(_)), "{err}");
+        assert!(err.to_string().contains("topology ingest error"));
     }
 
     #[test]

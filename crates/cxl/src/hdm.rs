@@ -145,6 +145,126 @@ impl HdmDecoder {
     }
 }
 
+/// A CEDT CFMWS-style interleave set: one host-physical window rotated across
+/// `ways` devices at a fixed granularity.
+///
+/// This is the multi-expander decode the CXL spec expresses as a CXL Fixed
+/// Memory Window Structure: consecutive granularity-sized blocks of the
+/// window belong to devices 0, 1, …, N−1, 0, 1, … in turn. The set hands out
+/// one [`HdmRange`] per way ([`InterleaveSet::way_range`]) so each device's
+/// [`HdmDecoder`] can be programmed consistently, and resolves any HPA to the
+/// `(way, dpa)` pair that owns it ([`InterleaveSet::translate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleaveSet {
+    hpa_base: u64,
+    len: u64,
+    granularity: u64,
+    ways: u8,
+}
+
+impl InterleaveSet {
+    /// Builds a validated interleave set.
+    ///
+    /// Per the CXL spec, `ways` must be 1, 2, 4, 8 or 16 and `granularity` a
+    /// power of two between 256 B and 16 KiB; `len` must be a whole number of
+    /// full rotations (`ways × granularity`).
+    pub fn new(hpa_base: u64, len: u64, granularity: u64, ways: u8) -> Result<Self> {
+        if !matches!(ways, 1 | 2 | 4 | 8 | 16) {
+            return Err(CxlError::InvalidHdmRange(format!(
+                "interleave ways must be 1, 2, 4, 8 or 16, got {ways}"
+            )));
+        }
+        if !granularity.is_power_of_two() || !(256..=16 * 1024).contains(&granularity) {
+            return Err(CxlError::InvalidHdmRange(format!(
+                "interleave granularity must be a power of two in 256..=16384, got {granularity}"
+            )));
+        }
+        if len == 0 || !len.is_multiple_of(granularity * ways as u64) {
+            return Err(CxlError::InvalidHdmRange(format!(
+                "window length {len} is not a whole number of {ways}x{granularity} rotations"
+            )));
+        }
+        if !hpa_base.is_multiple_of(64) {
+            return Err(CxlError::InvalidHdmRange(
+                "window base must be 64-byte aligned".to_string(),
+            ));
+        }
+        Ok(InterleaveSet {
+            hpa_base,
+            len,
+            granularity,
+            ways,
+        })
+    }
+
+    /// First host physical address of the window.
+    pub fn hpa_base(&self) -> u64 {
+        self.hpa_base
+    }
+
+    /// Window length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Interleave granularity in bytes.
+    pub fn granularity(&self) -> u64 {
+        self.granularity
+    }
+
+    /// Number of interleave ways (devices).
+    pub fn ways(&self) -> u8 {
+        self.ways
+    }
+
+    /// Bytes each way contributes (`len / ways`).
+    pub fn local_bytes(&self) -> u64 {
+        self.len / self.ways as u64
+    }
+
+    /// Whether an HPA falls inside the window.
+    pub fn contains(&self, hpa: u64) -> bool {
+        hpa >= self.hpa_base && hpa < self.hpa_base + self.len
+    }
+
+    /// The [`HdmRange`] the device at `position` must program (DPA base 0).
+    pub fn way_range(&self, position: u8) -> Result<HdmRange> {
+        if position >= self.ways {
+            return Err(CxlError::InvalidHdmRange(format!(
+                "interleave position {position} out of {} ways",
+                self.ways
+            )));
+        }
+        Ok(HdmRange {
+            hpa_base: self.hpa_base,
+            len: self.len,
+            dpa_base: 0,
+            interleave_ways: self.ways,
+            interleave_position: position,
+            interleave_granularity: self.granularity,
+        })
+    }
+
+    /// Programs the way at `position` into a device's decoder.
+    pub fn program_way(&self, decoder: &mut HdmDecoder, position: u8) -> Result<()> {
+        decoder.program(self.way_range(position)?)
+    }
+
+    /// Resolves an HPA to the `(way, dpa)` pair that owns it.
+    pub fn translate(&self, hpa: u64) -> Result<(u8, u64)> {
+        if !self.contains(hpa) {
+            return Err(CxlError::AddressNotMapped(hpa));
+        }
+        let offset = hpa - self.hpa_base;
+        let way = ((offset / self.granularity) % self.ways as u64) as u8;
+        let dpa = self
+            .way_range(way)?
+            .translate(hpa)
+            .expect("owning way translates its own block");
+        Ok((way, dpa))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +344,89 @@ mod tests {
         assert_eq!(dec.mapped_bytes(), 2 << 20);
         dec.clear();
         assert_eq!(dec.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn interleave_set_rejects_bad_geometry() {
+        assert!(InterleaveSet::new(0, 8 * 4096, 4096, 3).is_err());
+        assert!(InterleaveSet::new(0, 8 * 4096, 3000, 2).is_err());
+        assert!(InterleaveSet::new(0, 8 * 4096, 128, 2).is_err());
+        assert!(InterleaveSet::new(0, 8 * 4096, 32 * 1024, 2).is_err());
+        assert!(InterleaveSet::new(0, 4096, 4096, 2).is_err());
+        assert!(InterleaveSet::new(0, 0, 4096, 2).is_err());
+        assert!(InterleaveSet::new(32, 8 * 4096, 4096, 2).is_err());
+        assert!(InterleaveSet::new(0, 8 * 4096, 4096, 2).is_ok());
+    }
+
+    #[test]
+    fn interleave_set_partitions_the_window() {
+        let gran = 4096u64;
+        let set = InterleaveSet::new(0x2_0000_0000, 16 * gran, gran, 4).unwrap();
+        // Consecutive blocks rotate across the four ways; device-local blocks
+        // are densely packed.
+        for block in 0..16u64 {
+            let hpa = set.hpa_base() + block * gran;
+            let (way, dpa) = set.translate(hpa).unwrap();
+            assert_eq!(way as u64, block % 4);
+            assert_eq!(dpa, (block / 4) * gran);
+        }
+        assert_eq!(set.local_bytes(), 4 * gran);
+        assert!(set.translate(set.hpa_base() + set.len_bytes()).is_err());
+        assert!(set.translate(0).is_err());
+    }
+
+    #[test]
+    fn interleave_set_programs_consistent_decoders() {
+        let gran = 4096u64;
+        let set = InterleaveSet::new(0x1000, 8 * gran, gran, 2).unwrap();
+        let mut decoders = vec![HdmDecoder::new(), HdmDecoder::new()];
+        for (position, decoder) in decoders.iter_mut().enumerate() {
+            set.program_way(decoder, position as u8).unwrap();
+        }
+        // Every granule resolves through exactly the decoder the set names.
+        for block in 0..8u64 {
+            let hpa = 0x1000 + block * gran;
+            let (way, dpa) = set.translate(hpa).unwrap();
+            assert_eq!(decoders[way as usize].translate(hpa).unwrap(), dpa);
+            let other = &decoders[1 - way as usize];
+            assert!(other.translate(hpa).is_err());
+        }
+        // And each decoder maps exactly its share of the window.
+        for decoder in &decoders {
+            assert_eq!(decoder.mapped_bytes(), set.local_bytes());
+        }
+    }
+
+    #[test]
+    fn interleave_set_way_range_bounds_position() {
+        let set = InterleaveSet::new(0, 8 * 4096, 4096, 2).unwrap();
+        assert!(set.way_range(0).is_ok());
+        assert!(set.way_range(1).is_ok());
+        assert!(set.way_range(2).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interleave_set_matches_per_way_ranges(
+            block in 0u64..512,
+            ways_index in 0usize..5,
+        ) {
+            let ways = [1u8, 2, 4, 8, 16][ways_index];
+            let gran = 4096u64;
+            let set = InterleaveSet::new(0, 512 * gran * 16, gran, ways).unwrap();
+            let hpa = block * gran + 128;
+            let (way, dpa) = set.translate(hpa).unwrap();
+            prop_assert!(way < ways);
+            // The owning way's HdmRange agrees; every other way declines.
+            for pos in 0..ways {
+                let translated = set.way_range(pos).unwrap().translate(hpa);
+                if pos == way {
+                    prop_assert_eq!(translated, Some(dpa));
+                } else {
+                    prop_assert_eq!(translated, None);
+                }
+            }
+        }
     }
 
     proptest! {

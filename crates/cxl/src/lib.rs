@@ -65,7 +65,7 @@ pub use config::{CxlDeviceType, CxlSpec, LinkConfig};
 pub use endpoint::{DeviceStats, Type3Device};
 pub use error::CxlError;
 pub use fpga::FpgaPrototype;
-pub use hdm::{HdmDecoder, HdmRange};
+pub use hdm::{HdmDecoder, HdmRange, InterleaveSet};
 pub use sharing::{CoherenceMode, SharedRegion};
 pub use sparse::SparseMemory;
 pub use switch::{CxlSwitch, HostId, PoolAccounting, PoolAllocation, PortId};

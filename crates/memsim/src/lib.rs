@@ -58,6 +58,7 @@ pub mod error;
 pub mod link;
 pub mod machine;
 pub mod machines;
+pub mod topology;
 pub mod trace;
 pub mod units;
 
@@ -68,6 +69,7 @@ pub use engine::{Bottleneck, Engine, PhaseReport};
 pub use error::SimError;
 pub use link::{LinkKind, LinkSpec, Path};
 pub use machine::{Machine, MachineBuilder};
+pub use topology::{IngestedTopology, TopologyDescription, TopologyError};
 pub use trace::TrafficTrace;
 
 /// Result alias for simulator operations.

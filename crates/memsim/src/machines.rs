@@ -1,107 +1,254 @@
 //! The paper's two physical setups as ready-made machine models, plus variants
 //! used by baselines and ablations.
+//!
+//! Since the topology-ingest path landed, every preset is expressed as a
+//! [`TopologyDescription`] — the same CEDT/SRAT-shaped declaration the
+//! plain-text format parses into — and compiled through
+//! [`TopologyDescription::compile`], so the hand-wired and ingested paths
+//! produce machines by exactly one code path. The descriptions are built
+//! programmatically from [`crate::calibration`] constants (not re-parsed from
+//! text) so the compiled machines stay bit-exact with the calibration table.
 
 use crate::calibration as cal;
 use crate::device::DeviceSpec;
 use crate::link::{LinkSpec, Path};
 use crate::machine::Machine;
+use crate::topology::{
+    DeviceDecl, LinkDecl, MemoryDecl, PathDecl, ProcessorDecl, TopologyDescription,
+};
 use crate::units::GIB;
-use numa::topology::{sapphire_rapids_cxl, xeon_gold_ddr4};
-use numa::Topology;
+
+fn spr_processors() -> Vec<ProcessorDecl> {
+    (0..2)
+        .map(|socket| ProcessorDecl {
+            model: "Intel Xeon 4th Gen (Sapphire Rapids)".into(),
+            base_ghz: 2.1,
+            cores: 10,
+            node: socket,
+        })
+        .collect()
+}
+
+fn cxl_path_links() -> Vec<String> {
+    vec![
+        LinkSpec::pcie_gen5_x16_cxl().name,
+        LinkSpec::fpga_cxl_controller().name,
+    ]
+}
+
+/// The [`TopologyDescription`] behind [`sapphire_rapids_cxl_machine`].
+pub fn sapphire_rapids_cxl_description() -> TopologyDescription {
+    let upi = LinkSpec::upi_sapphire_rapids().name;
+    let mut d = TopologyDescription::new("sapphire-rapids-cxl");
+    d.smt = 2;
+    d.core_mlp = cal::SPR_CORE_MLP;
+    d.processors = spr_processors();
+    d.memories = vec![
+        MemoryDecl {
+            node: 0,
+            bytes: 64 * GIB,
+            label: "DDR5-4800 socket0".into(),
+        },
+        MemoryDecl {
+            node: 1,
+            bytes: 64 * GIB,
+            label: "DDR5-4800 socket1".into(),
+        },
+        MemoryDecl {
+            node: 2,
+            bytes: 16 * GIB,
+            label: "CXL DDR4-1333 expander (Agilex-7 FPGA)".into(),
+        },
+    ];
+    d.devices = vec![
+        DeviceDecl::from_spec(
+            Some(0),
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"),
+        ),
+        DeviceDecl::from_spec(
+            Some(1),
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"),
+        ),
+        DeviceDecl::from_spec(
+            Some(2),
+            DeviceSpec::cxl_prototype_ddr4_1333("CXL DDR4-1333 16GB (Agilex-7)"),
+        ),
+    ];
+    d.links = vec![
+        LinkDecl::from_spec(LinkSpec::upi_sapphire_rapids()),
+        LinkDecl::from_spec(LinkSpec::pcie_gen5_x16_cxl()),
+        LinkDecl::from_spec(LinkSpec::fpga_cxl_controller()),
+    ];
+    d.paths = vec![
+        PathDecl {
+            socket: 0,
+            node: 1,
+            links: vec![upi.clone()],
+        },
+        PathDecl {
+            socket: 0,
+            node: 2,
+            links: cxl_path_links(),
+        },
+        PathDecl {
+            socket: 1,
+            node: 0,
+            links: vec![upi],
+        },
+        PathDecl {
+            socket: 1,
+            node: 2,
+            links: cxl_path_links(),
+        },
+    ];
+    d
+}
 
 /// **Setup #1** (paper §2.1, Figure 2): dual Sapphire Rapids, one DDR5-4800
 /// DIMM per socket, CXL-attached DDR4-1333 expander on an Agilex-7 FPGA behind
 /// PCIe Gen5 x16, exposed as CPU-less NUMA node 2.
 pub fn sapphire_rapids_cxl_machine() -> Machine {
-    let topo = sapphire_rapids_cxl();
-    let cxl_path = || {
-        Path::through(vec![
-            LinkSpec::pcie_gen5_x16_cxl(),
-            LinkSpec::fpga_cxl_controller(),
-        ])
-    };
-    Machine::builder(topo)
-        .core_mlp(cal::SPR_CORE_MLP)
-        .device(
-            0,
-            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"),
-        )
-        .device(
-            1,
-            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"),
-        )
-        .device(
-            2,
-            DeviceSpec::cxl_prototype_ddr4_1333("CXL DDR4-1333 16GB (Agilex-7)"),
-        )
-        // Socket 0 paths.
-        .path(0, 0, Path::direct())
-        .path(0, 1, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
-        .path(0, 2, cxl_path())
-        // Socket 1 paths.
-        .path(1, 0, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
-        .path(1, 1, Path::direct())
-        .path(1, 2, cxl_path())
-        .build()
+    sapphire_rapids_cxl_description()
+        .compile()
         .expect("setup #1 machine description is complete")
+        .machine
+}
+
+/// The [`TopologyDescription`] behind [`xeon_gold_ddr4_machine`].
+pub fn xeon_gold_ddr4_description() -> TopologyDescription {
+    let upi = LinkSpec::upi_xeon_gold().name;
+    let mut d = TopologyDescription::new("xeon-gold-ddr4");
+    d.smt = 2;
+    d.core_mlp = cal::XEON_GOLD_CORE_MLP;
+    d.processors = (0..2)
+        .map(|socket| ProcessorDecl {
+            model: "Intel Xeon Gold 5215".into(),
+            base_ghz: 2.5,
+            cores: 10,
+            node: socket,
+        })
+        .collect();
+    d.memories = vec![
+        MemoryDecl {
+            node: 0,
+            bytes: 96 * GIB,
+            label: "DDR4-2666 x6 socket0".into(),
+        },
+        MemoryDecl {
+            node: 1,
+            bytes: 96 * GIB,
+            label: "DDR4-2666 x6 socket1".into(),
+        },
+    ];
+    d.devices = vec![
+        DeviceDecl::from_spec(
+            Some(0),
+            DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket0"),
+        ),
+        DeviceDecl::from_spec(
+            Some(1),
+            DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket1"),
+        ),
+    ];
+    d.links = vec![LinkDecl::from_spec(LinkSpec::upi_xeon_gold())];
+    d.paths = vec![
+        PathDecl {
+            socket: 0,
+            node: 1,
+            links: vec![upi.clone()],
+        },
+        PathDecl {
+            socket: 1,
+            node: 0,
+            links: vec![upi],
+        },
+    ];
+    d
 }
 
 /// **Setup #2** (paper §2.1, Figure 3): dual Xeon Gold 5215 with six DDR4-2666
 /// channels per socket and no CXL device.
 pub fn xeon_gold_ddr4_machine() -> Machine {
-    let topo = xeon_gold_ddr4();
-    Machine::builder(topo)
-        .core_mlp(cal::XEON_GOLD_CORE_MLP)
-        .device(
-            0,
-            DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket0"),
-        )
-        .device(
-            1,
-            DeviceSpec::ddr4_2666_six_channels("DDR4-2666 6ch 96GB socket1"),
-        )
-        .path(0, 0, Path::direct())
-        .path(0, 1, Path::through(vec![LinkSpec::upi_xeon_gold()]))
-        .path(1, 0, Path::through(vec![LinkSpec::upi_xeon_gold()]))
-        .path(1, 1, Path::direct())
-        .build()
+    xeon_gold_ddr4_description()
+        .compile()
         .expect("setup #2 machine description is complete")
+        .machine
+}
+
+/// The [`TopologyDescription`] behind [`sapphire_rapids_dcpmm_machine`].
+pub fn sapphire_rapids_dcpmm_description() -> TopologyDescription {
+    let upi = LinkSpec::upi_sapphire_rapids().name;
+    let mut d = TopologyDescription::new("sapphire-rapids-dcpmm");
+    d.smt = 2;
+    d.core_mlp = cal::SPR_CORE_MLP;
+    d.processors = spr_processors();
+    d.memories = vec![
+        MemoryDecl {
+            node: 0,
+            bytes: 64 * GIB,
+            label: "DDR5-4800 socket0".into(),
+        },
+        MemoryDecl {
+            node: 1,
+            bytes: 64 * GIB,
+            label: "DDR5-4800 socket1".into(),
+        },
+        MemoryDecl {
+            node: 2,
+            bytes: 128 * GIB,
+            label: "Optane DCPMM 128GB (App-Direct region)".into(),
+        },
+    ];
+    d.devices = vec![
+        DeviceDecl::from_spec(
+            Some(0),
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"),
+        ),
+        DeviceDecl::from_spec(
+            Some(1),
+            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"),
+        ),
+        DeviceDecl::from_spec(
+            Some(2),
+            DeviceSpec::dcpmm_single_module("Optane DCPMM 128GB"),
+        ),
+    ];
+    d.links = vec![LinkDecl::from_spec(LinkSpec::upi_sapphire_rapids())];
+    // DCPMM sits on socket 0's memory bus: direct from socket 0, one UPI hop
+    // from socket 1.
+    d.paths = vec![
+        PathDecl {
+            socket: 0,
+            node: 1,
+            links: vec![upi.clone()],
+        },
+        PathDecl {
+            socket: 0,
+            node: 2,
+            links: Vec::new(),
+        },
+        PathDecl {
+            socket: 1,
+            node: 0,
+            links: vec![upi.clone()],
+        },
+        PathDecl {
+            socket: 1,
+            node: 2,
+            links: vec![upi],
+        },
+    ];
+    d
 }
 
 /// A DCPMM-equipped variant of Setup #1 used for the headline comparison
 /// against published Optane numbers: node 2 is a single Optane DCPMM module on
 /// the local DDR-T bus of socket 0 instead of the CXL expander.
 pub fn sapphire_rapids_dcpmm_machine() -> Machine {
-    let topo = Topology::builder("sapphire-rapids-dcpmm")
-        .smt(2)
-        .node(64 * GIB, "DDR5-4800 socket0")
-        .node(64 * GIB, "DDR5-4800 socket1")
-        .node(128 * GIB, "Optane DCPMM 128GB (App-Direct region)")
-        .socket("Intel Xeon 4th Gen (Sapphire Rapids)", 2.1, 10, 0)
-        .socket("Intel Xeon 4th Gen (Sapphire Rapids)", 2.1, 10, 1)
-        .build()
-        .expect("static topology is valid");
-    Machine::builder(topo)
-        .core_mlp(cal::SPR_CORE_MLP)
-        .device(
-            0,
-            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket0"),
-        )
-        .device(
-            1,
-            DeviceSpec::ddr5_4800_single_dimm("DDR5-4800 64GB socket1"),
-        )
-        .device(2, DeviceSpec::dcpmm_single_module("Optane DCPMM 128GB"))
-        .path(0, 0, Path::direct())
-        .path(0, 1, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
-        // DCPMM sits on socket 0's memory bus: direct from socket 0, one UPI
-        // hop from socket 1.
-        .path(0, 2, Path::direct())
-        .path(1, 0, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
-        .path(1, 1, Path::direct())
-        .path(1, 2, Path::through(vec![LinkSpec::upi_sapphire_rapids()]))
-        .build()
+    sapphire_rapids_dcpmm_description()
+        .compile()
         .expect("dcpmm machine description is complete")
+        .machine
 }
 
 /// An ablation variant of Setup #1 where the FPGA card is upgraded per the
@@ -185,5 +332,29 @@ mod tests {
             .per_thread_bandwidth_gbs(0, 2, AccessPattern::Sequential)
             .unwrap();
         assert!(bw > 1.0 && bw < 4.0, "per-thread CXL bandwidth {bw}");
+    }
+
+    #[test]
+    fn preset_descriptions_round_trip_through_text() {
+        for d in [
+            sapphire_rapids_cxl_description(),
+            xeon_gold_ddr4_description(),
+            sapphire_rapids_dcpmm_description(),
+        ] {
+            let parsed = TopologyDescription::parse(&d.render()).unwrap();
+            assert_eq!(parsed, d, "{} must round-trip", d.name);
+        }
+    }
+
+    #[test]
+    fn preset_topologies_match_the_numa_presets() {
+        let m = sapphire_rapids_cxl_machine();
+        let reference = numa::topology::sapphire_rapids_cxl();
+        assert_eq!(m.topology().nodes().len(), reference.nodes().len());
+        assert_eq!(m.topology().num_hw_threads(), reference.num_hw_threads());
+        for (a, b) in m.topology().nodes().iter().zip(reference.nodes()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.mem_bytes, b.mem_bytes);
+        }
     }
 }

@@ -25,6 +25,10 @@
 //!   checkpoint/restore streams through QoS admission control over the
 //!   contended pool, reporting p50/p99/p999 per class into
 //!   `BENCH_fleet.json`.
+//! * [`topo`] — the topology-ingestion scenario group: every reference
+//!   `.topo` description ingested end-to-end (text → device graph → runtime →
+//!   traffic), plus the silicon-validated calibration table CI gates through
+//!   `BENCH_calibration.json`.
 //! * [`dataflow`] — ASCII renderings of the setup/data-flow diagrams
 //!   (Figures 1–4 and 9).
 //!
@@ -54,6 +58,7 @@ pub mod groups;
 pub mod scenarios;
 pub mod tables;
 pub mod tiering;
+pub mod topo;
 
 pub use analysis::Analysis;
 pub use figures::{FigureData, TrendSeries};
@@ -62,3 +67,4 @@ pub use groups::{TestGroup, Trend};
 pub use scenarios::{disaggregation_table, RestartReport, RestartScenario};
 pub use tables::{headline_table, table1, table2};
 pub use tiering::{tiering_table, TieringPoint, TieringReport};
+pub use topo::{topology_table, TopologyPoint, TopologyReport};

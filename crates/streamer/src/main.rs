@@ -3,8 +3,8 @@
 //! ```text
 //! streamer figure --kernel scale [--group 1b] [--csv] [--out DIR]
 //! streamer group  1a|1b|1c|2a|2b [--kernel triad]
-//! streamer table  1|2|headline|disaggregation|tiering|fleet
-//! streamer scenario restart|tiering|fleet
+//! streamer table  1|2|headline|disaggregation|tiering|fleet|topology
+//! streamer scenario restart|tiering|fleet|topology
 //! streamer analysis
 //! streamer topology [--setup 1|2|dcpmm]
 //! streamer all --out DIR
@@ -34,7 +34,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation|tiering|fleet>\n  streamer scenario <restart|tiering|fleet>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
+    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation|tiering|fleet|topology>\n  streamer scenario <restart|tiering|fleet|topology>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
 }
 
 /// Parses `--key value` and `--flag` style options.
@@ -164,9 +164,10 @@ fn cmd_table(positional: &[String]) -> Result<(), String> {
         "disaggregation" => disaggregation_table().map_err(|e| e.to_string())?,
         "tiering" => streamer::tiering_table().map_err(|e| e.to_string())?,
         "fleet" => streamer::fleet_table().map_err(|e| e.to_string())?,
+        "topology" => streamer::topology_table().map_err(|e| e.to_string())?,
         other => {
             return Err(format!(
-                "unknown table '{other}' (use 1, 2, headline, disaggregation, tiering or fleet)"
+                "unknown table '{other}' (use 1, 2, headline, disaggregation, tiering, fleet or topology)"
             ))
         }
     };
@@ -216,8 +217,27 @@ fn cmd_scenario(positional: &[String]) -> Result<(), String> {
                 Err("the fleet-serving gate failed — see the table above".to_string())
             }
         }
+        "topology" => {
+            let report = streamer::topo::run_topologies().map_err(|e| e.to_string())?;
+            println!("{}", streamer::topo::render_table(&report).to_markdown());
+            println!("{}", report.calibration.render());
+            let json = streamer::topo::report_json(&report);
+            std::fs::write("BENCH_calibration.json", &json).map_err(|e| e.to_string())?;
+            println!("wrote BENCH_calibration.json");
+            if report.all_hold() {
+                println!(
+                    "topology ingestion holds: {} descriptions compiled, calibration max rel. error {:.1}% (bound {:.0}%)",
+                    report.points.len(),
+                    report.calibration.max_rel_error() * 100.0,
+                    memsim::calibration::CALIBRATION_ERROR_BOUND * 100.0
+                );
+                Ok(())
+            } else {
+                Err("the topology-ingestion gate failed — see the tables above".to_string())
+            }
+        }
         other => Err(format!(
-            "unknown scenario '{other}' (use restart, tiering or fleet)"
+            "unknown scenario '{other}' (use restart, tiering, fleet or topology)"
         )),
     }
 }
@@ -310,6 +330,13 @@ fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
         Some(&out),
         "fleet.md",
         &streamer::fleet_table()
+            .map_err(|e| e.to_string())?
+            .to_markdown(),
+    )?;
+    emit(
+        Some(&out),
+        "topology.md",
+        &streamer::topology_table()
             .map_err(|e| e.to_string())?
             .to_markdown(),
     )?;
