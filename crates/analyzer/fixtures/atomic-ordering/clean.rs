@@ -1,0 +1,15 @@
+//! Fixture: a justified `SeqCst` and a weaker ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Clean: the fence-like ordering carries its justification.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // ORDERING: the counter doubles as a publication fence for the reader
+    // thread, so it stays totally ordered with the flag stores.
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+/// Clean: weaker orderings need no comment outside pinned modules.
+pub fn peek(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Acquire)
+}

@@ -1,0 +1,8 @@
+//! Fixture: an unjustified `SeqCst` outside any pinned module.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fires: `SeqCst` with no justifying comment.
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::SeqCst)
+}

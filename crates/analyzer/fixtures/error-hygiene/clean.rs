@@ -1,0 +1,21 @@
+//! Fixture: typed errors on the public surface.
+
+/// The module's error type.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(String),
+    /// The payload was not a number.
+    Parse,
+}
+
+/// Clean: a typed error enum.
+pub fn load(path: &str) -> Result<Vec<u8>, LoadError> {
+    Err(LoadError::Io(path.to_string()))
+}
+
+/// Clean: private helpers may stringify — only the public surface is held
+/// to the typed-error contract.
+fn helper(text: &str) -> Result<u32, String> {
+    text.trim().parse().map_err(|_| "not a number".to_string())
+}

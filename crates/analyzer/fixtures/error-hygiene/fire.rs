@@ -1,0 +1,13 @@
+//! Fixture: public fallible APIs leaking untyped errors.
+
+use std::error::Error;
+
+/// Fires: `Box<dyn Error>` escapes a public signature.
+pub fn load(path: &str) -> Result<Vec<u8>, Box<dyn Error>> {
+    Err(format!("cannot read {path}").into())
+}
+
+/// Fires: a stringly-typed error.
+pub fn parse(text: &str) -> Result<u32, String> {
+    text.trim().parse().map_err(|_| "not a number".to_string())
+}

@@ -1,0 +1,20 @@
+//! Fixture: the same logic with typed errors and an audited index.
+
+/// The zone's error type.
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The journal had no slots.
+    Empty,
+}
+
+/// Clean: `.get()`-style access with a typed error, and the one remaining
+/// index carries its bound proof.
+pub fn recover(slots: &[u64], committed: usize) -> Result<u64, RecoverError> {
+    let head = slots.first().copied().ok_or(RecoverError::Empty)?;
+    if head == 0 {
+        return Err(RecoverError::Empty);
+    }
+    let last = committed.min(slots.len() - 1);
+    // in-bounds: `last` is clamped to slots.len() - 1 above (non-empty here).
+    Ok(slots[last])
+}

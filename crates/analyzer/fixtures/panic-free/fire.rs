@@ -1,0 +1,10 @@
+//! Fixture: panics and unaudited dynamic indexing in a panic-free zone.
+
+/// Fires three times: `.unwrap()`, `panic!` and a bare dynamic index.
+pub fn recover(slots: &[u64], committed: usize) -> u64 {
+    let head = slots.first().copied().unwrap();
+    if head == 0 {
+        panic!("empty journal");
+    }
+    slots[committed]
+}

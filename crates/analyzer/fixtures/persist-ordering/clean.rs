@@ -1,0 +1,17 @@
+//! Fixture: the documented discipline — a fan-out of flushes, one drain.
+
+/// Stand-in for the pool's persist surface.
+pub struct Pool;
+
+impl Pool {
+    fn flush(&self, _off: u64, _len: u64) {}
+    fn drain(&self) {}
+}
+
+/// Clean: per-chunk flushes fan out, a single drain fences them all.
+pub fn checkpoint(pool: &Pool, chunks: &[(u64, u64)]) {
+    for &(off, len) in chunks {
+        pool.flush(off, len);
+    }
+    pool.drain();
+}

@@ -1,0 +1,24 @@
+//! Fixture: violations of the flush/fence discipline (paper §4).
+
+/// Stand-in for the pool's persist surface.
+pub struct Pool;
+
+impl Pool {
+    fn flush(&self, _off: u64, _len: u64) {}
+    fn drain(&self) {}
+}
+
+/// Fires: `drain()` sits inside the per-chunk loop.
+pub fn drain_per_chunk(pool: &Pool, chunks: &[(u64, u64)]) {
+    for &(off, len) in chunks {
+        pool.flush(off, len);
+        pool.drain();
+    }
+}
+
+/// Fires: a flush fan-out that never reaches a drain.
+pub fn fanout_without_drain(pool: &Pool, chunks: &[(u64, u64)]) {
+    for &(off, len) in chunks {
+        pool.flush(off, len);
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: no `unsafe` token anywhere — the word in a doc comment is fine.
+
+/// Clean: safe code only; "unsafe" in prose does not count.
+pub fn peek(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}

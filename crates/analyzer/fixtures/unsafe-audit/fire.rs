@@ -1,0 +1,7 @@
+//! Fixture: `unsafe` outside the audited-module allowlist.
+
+/// Fires: an unsafe block in a file that `unsafe_audit.audited` does not list.
+pub fn peek(bytes: &[u8]) -> u8 {
+    let ptr = bytes.as_ptr();
+    unsafe { *ptr }
+}

@@ -1,0 +1,705 @@
+//! `analyzer.toml` — the single source of truth for workspace invariants.
+//!
+//! The build environment is offline and the analyzer is dependency-free, so
+//! this module carries a small hand-rolled parser for the TOML subset the
+//! policy file actually uses: `[table]` headers (dotted), `[[array-of-table]]`
+//! headers, string / integer / boolean values, arrays of strings and `#`
+//! comments. Unknown keys are hard errors — a typo in a policy file must not
+//! silently disable a lint.
+//!
+//! Like every other parser in this workspace (see `memsim::topology`), it is
+//! total: any input, truncated or garbage, produces `Ok` or a typed
+//! [`ConfigError`], never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array (the policy file only uses arrays of strings).
+    Array(Vec<Value>),
+    /// A nested table; also the representation of `[[t]]` entries.
+    Table(Table),
+    /// An array of tables, built up by repeated `[[t]]` headers.
+    TableArray(Vec<Table>),
+}
+
+/// A table: ordered key → value map.
+pub type Table = BTreeMap<String, Value>;
+
+/// Typed error for a malformed policy file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The TOML subset parser rejected the text at `line`.
+    Parse {
+        /// 1-based line of the offending input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A key the analyzer does not understand (typo guard).
+    UnknownKey(String),
+    /// A key is present but holds the wrong type of value.
+    WrongType {
+        /// Dotted path of the key.
+        key: String,
+        /// What the analyzer expected there.
+        expected: &'static str,
+    },
+    /// An `[[allow]]` entry is missing a mandatory field.
+    AllowEntry(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Parse { line, message } => {
+                write!(f, "analyzer.toml:{line}: {message}")
+            }
+            ConfigError::UnknownKey(key) => {
+                write!(
+                    f,
+                    "analyzer.toml: unknown key `{key}` (typo guard: unknown keys are errors)"
+                )
+            }
+            ConfigError::WrongType { key, expected } => {
+                write!(f, "analyzer.toml: `{key}` must be {expected}")
+            }
+            ConfigError::AllowEntry(what) => {
+                write!(f, "analyzer.toml: invalid [[allow]] entry: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One `[[allow]]` waiver: a finding matching (lint, file, contains) is
+/// reported as waived instead of failing the run. The justification is
+/// mandatory and must be a real sentence, not an empty string.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Lint id the waiver applies to.
+    pub lint: String,
+    /// Repo-relative path of the file.
+    pub file: String,
+    /// Substring of the offending source line (robust to line-number drift).
+    pub contains: String,
+    /// Why the finding is acceptable. Mandatory.
+    pub justification: String,
+}
+
+/// A module pinned to a documented atomic-ordering protocol.
+#[derive(Debug, Clone)]
+pub struct PinnedAtomics {
+    /// Repo-relative path of the module.
+    pub file: String,
+    /// The only `Ordering::` variants the module may use.
+    pub allowed: Vec<String>,
+}
+
+/// The analyzer's full policy, decoded from `analyzer.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Directories to walk for `.rs` files (only `src` trees are scanned).
+    pub scan: Vec<String>,
+    /// Path prefixes excluded from the walk (vendored stand-ins, fixtures).
+    pub skip: Vec<String>,
+    /// persist-ordering zones: modules on the flush/drain persist path.
+    pub persist_zones: Vec<String>,
+    /// panic-free zones: modules whose non-test code must never panic.
+    pub panic_free_zones: Vec<String>,
+    /// Crate roots that must carry `#![forbid(unsafe_code)]`.
+    pub unsafe_forbid: Vec<String>,
+    /// Crate roots that must carry `#![deny(unsafe_code)]`.
+    pub unsafe_deny: Vec<String>,
+    /// The audited-module allowlist: the only files allowed to spell
+    /// `unsafe`, each occurrence requiring an adjacent safety comment.
+    pub unsafe_audited: Vec<String>,
+    /// Modules pinned to a documented ordering protocol.
+    pub pinned_atomics: Vec<PinnedAtomics>,
+    /// Per-finding waivers with mandatory justifications.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Config {
+    /// Parses a policy file. Typed errors, never panics.
+    pub fn from_toml(text: &str) -> Result<Config, ConfigError> {
+        let root = parse_toml(text)?;
+        Config::from_table(&root)
+    }
+
+    fn from_table(root: &Table) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        for (key, value) in root {
+            match key.as_str() {
+                "workspace" => {
+                    let t = expect_table(key, value)?;
+                    for (k, v) in t {
+                        match k.as_str() {
+                            "scan" => cfg.scan = string_array("workspace.scan", v)?,
+                            "skip" => cfg.skip = string_array("workspace.skip", v)?,
+                            other => {
+                                return Err(ConfigError::UnknownKey(format!("workspace.{other}")))
+                            }
+                        }
+                    }
+                }
+                "persist_ordering" => {
+                    let t = expect_table(key, value)?;
+                    for (k, v) in t {
+                        match k.as_str() {
+                            "zones" => {
+                                cfg.persist_zones = string_array("persist_ordering.zones", v)?
+                            }
+                            other => {
+                                return Err(ConfigError::UnknownKey(format!(
+                                    "persist_ordering.{other}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                "panic_free" => {
+                    let t = expect_table(key, value)?;
+                    for (k, v) in t {
+                        match k.as_str() {
+                            "zones" => cfg.panic_free_zones = string_array("panic_free.zones", v)?,
+                            other => {
+                                return Err(ConfigError::UnknownKey(format!("panic_free.{other}")))
+                            }
+                        }
+                    }
+                }
+                "unsafe_audit" => {
+                    let t = expect_table(key, value)?;
+                    for (k, v) in t {
+                        match k.as_str() {
+                            "forbid" => cfg.unsafe_forbid = string_array("unsafe_audit.forbid", v)?,
+                            "deny" => cfg.unsafe_deny = string_array("unsafe_audit.deny", v)?,
+                            "audited" => {
+                                cfg.unsafe_audited = string_array("unsafe_audit.audited", v)?
+                            }
+                            other => {
+                                return Err(ConfigError::UnknownKey(format!(
+                                    "unsafe_audit.{other}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                "atomic_ordering" => {
+                    let t = expect_table(key, value)?;
+                    for (k, v) in t {
+                        match k.as_str() {
+                            "pinned" => {
+                                for entry in expect_table_array("atomic_ordering.pinned", v)? {
+                                    cfg.pinned_atomics.push(pinned_from(entry)?);
+                                }
+                            }
+                            other => {
+                                return Err(ConfigError::UnknownKey(format!(
+                                    "atomic_ordering.{other}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                "allow" => {
+                    for entry in expect_table_array("allow", value)? {
+                        cfg.allows.push(allow_from(entry)?);
+                    }
+                }
+                other => return Err(ConfigError::UnknownKey(other.to_string())),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn pinned_from(entry: &Table) -> Result<PinnedAtomics, ConfigError> {
+    let mut file = None;
+    let mut allowed = None;
+    for (k, v) in entry {
+        match k.as_str() {
+            "file" => file = Some(expect_str("atomic_ordering.pinned.file", v)?),
+            "allowed" => allowed = Some(string_array("atomic_ordering.pinned.allowed", v)?),
+            other => {
+                return Err(ConfigError::UnknownKey(format!(
+                    "atomic_ordering.pinned.{other}"
+                )))
+            }
+        }
+    }
+    match (file, allowed) {
+        (Some(file), Some(allowed)) if !allowed.is_empty() => Ok(PinnedAtomics { file, allowed }),
+        _ => Err(ConfigError::AllowEntry(
+            "[[atomic_ordering.pinned]] needs `file` and a non-empty `allowed`".to_string(),
+        )),
+    }
+}
+
+fn allow_from(entry: &Table) -> Result<AllowEntry, ConfigError> {
+    let mut lint = None;
+    let mut file = None;
+    let mut contains = None;
+    let mut justification = None;
+    for (k, v) in entry {
+        match k.as_str() {
+            "lint" => lint = Some(expect_str("allow.lint", v)?),
+            "file" => file = Some(expect_str("allow.file", v)?),
+            "contains" => contains = Some(expect_str("allow.contains", v)?),
+            "justification" => justification = Some(expect_str("allow.justification", v)?),
+            other => return Err(ConfigError::UnknownKey(format!("allow.{other}"))),
+        }
+    }
+    let entry = AllowEntry {
+        lint: lint.ok_or_else(|| ConfigError::AllowEntry("missing `lint`".to_string()))?,
+        file: file.ok_or_else(|| ConfigError::AllowEntry("missing `file`".to_string()))?,
+        contains: contains
+            .ok_or_else(|| ConfigError::AllowEntry("missing `contains`".to_string()))?,
+        justification: justification
+            .ok_or_else(|| ConfigError::AllowEntry("missing `justification`".to_string()))?,
+    };
+    // A waiver without a reason is a policy hole, not a waiver.
+    if entry.justification.trim().len() < 20 {
+        return Err(ConfigError::AllowEntry(format!(
+            "justification for ({}, {}) must be a real sentence (>= 20 chars)",
+            entry.lint, entry.file
+        )));
+    }
+    if entry.contains.trim().is_empty() {
+        return Err(ConfigError::AllowEntry(format!(
+            "`contains` for ({}, {}) must not be empty",
+            entry.lint, entry.file
+        )));
+    }
+    Ok(entry)
+}
+
+fn expect_table<'v>(key: &str, value: &'v Value) -> Result<&'v Table, ConfigError> {
+    match value {
+        Value::Table(t) => Ok(t),
+        _ => Err(ConfigError::WrongType {
+            key: key.to_string(),
+            expected: "a table",
+        }),
+    }
+}
+
+fn expect_table_array<'v>(key: &str, value: &'v Value) -> Result<&'v [Table], ConfigError> {
+    match value {
+        Value::TableArray(ts) => Ok(ts),
+        _ => Err(ConfigError::WrongType {
+            key: key.to_string(),
+            expected: "an array of tables ([[...]])",
+        }),
+    }
+}
+
+fn expect_str(key: &str, value: &Value) -> Result<String, ConfigError> {
+    match value {
+        Value::Str(s) => Ok(s.clone()),
+        _ => Err(ConfigError::WrongType {
+            key: key.to_string(),
+            expected: "a string",
+        }),
+    }
+}
+
+fn string_array(key: &str, value: &Value) -> Result<Vec<String>, ConfigError> {
+    let items = match value {
+        Value::Array(items) => items,
+        _ => {
+            return Err(ConfigError::WrongType {
+                key: key.to_string(),
+                expected: "an array of strings",
+            })
+        }
+    };
+    items
+        .iter()
+        .map(|v| expect_str(key, v))
+        .collect::<Result<Vec<_>, _>>()
+}
+
+/// Parses the TOML subset into a root table.
+pub fn parse_toml(text: &str) -> Result<Table, ConfigError> {
+    let mut root = Table::new();
+    // Path of the table currently receiving `key = value` lines, plus, for
+    // array-of-table targets, the index of the entry being filled.
+    let mut current: Vec<String> = Vec::new();
+    let mut current_is_array = false;
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let line_no = idx + 1;
+        let mut logical = strip_comment(lines[idx]).trim().to_string();
+        // Multi-line arrays: keep consuming lines until brackets balance
+        // (strings are respected; a truncated file just ends the value).
+        while bracket_balance(&logical) > 0 && idx + 1 < lines.len() {
+            idx += 1;
+            logical.push(' ');
+            logical.push_str(strip_comment(lines[idx]).trim());
+        }
+        idx += 1;
+        let line: &str = logical.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            current = split_key_path(inner, line_no)?;
+            current_is_array = true;
+            append_table_entry(&mut root, &current, line_no)?;
+        } else if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = split_key_path(inner, line_no)?;
+            current_is_array = false;
+            ensure_table(&mut root, &current, line_no)?;
+        } else if let Some(eq) = find_unquoted(line, '=') {
+            let key = line[..eq].trim();
+            if key.is_empty() || !is_bare_key(key) {
+                return Err(ConfigError::Parse {
+                    line: line_no,
+                    message: format!("invalid key `{key}`"),
+                });
+            }
+            let value = parse_value(line[eq + 1..].trim(), line_no)?;
+            let table = resolve_target(&mut root, &current, current_is_array, line_no)?;
+            if table.insert(key.to_string(), value).is_some() {
+                return Err(ConfigError::Parse {
+                    line: line_no,
+                    message: format!("duplicate key `{key}`"),
+                });
+            }
+        } else {
+            return Err(ConfigError::Parse {
+                line: line_no,
+                message: format!("expected `[table]`, `[[table]]` or `key = value`, got `{line}`"),
+            });
+        }
+    }
+    Ok(root)
+}
+
+/// Net count of `[` minus `]` outside string literals — positive means a
+/// multi-line array continues on the next line.
+fn bracket_balance(line: &str) -> i32 {
+    let mut balance = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => balance += 1,
+            ']' if !in_str => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_bare_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn split_key_path(path: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let parts: Vec<String> = path.split('.').map(|p| p.trim().to_string()).collect();
+    if parts.iter().any(|p| !is_bare_key(p)) {
+        return Err(ConfigError::Parse {
+            line,
+            message: format!("invalid table name `{path}`"),
+        });
+    }
+    Ok(parts)
+}
+
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            c if c == needle && !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Walks/creates the table at `path` (all but optionally the last step).
+fn ensure_table<'t>(
+    root: &'t mut Table,
+    path: &[String],
+    line: usize,
+) -> Result<&'t mut Table, ConfigError> {
+    let mut at = root;
+    for part in path {
+        let slot = at
+            .entry(part.clone())
+            .or_insert_with(|| Value::Table(Table::new()));
+        at = match slot {
+            Value::Table(t) => t,
+            Value::TableArray(ts) => match ts.last_mut() {
+                Some(last) => last,
+                None => {
+                    return Err(ConfigError::Parse {
+                        line,
+                        message: format!("empty table array at `{part}`"),
+                    })
+                }
+            },
+            _ => {
+                return Err(ConfigError::Parse {
+                    line,
+                    message: format!("`{part}` is both a value and a table"),
+                })
+            }
+        };
+    }
+    Ok(at)
+}
+
+/// Appends a fresh entry for a `[[path]]` header.
+fn append_table_entry(root: &mut Table, path: &[String], line: usize) -> Result<(), ConfigError> {
+    let (last, parents) = match path.split_last() {
+        Some(split) => split,
+        None => {
+            return Err(ConfigError::Parse {
+                line,
+                message: "empty [[ ]] header".to_string(),
+            })
+        }
+    };
+    let parent = ensure_table(root, parents, line)?;
+    let slot = parent
+        .entry(last.clone())
+        .or_insert_with(|| Value::TableArray(Vec::new()));
+    match slot {
+        Value::TableArray(ts) => {
+            ts.push(Table::new());
+            Ok(())
+        }
+        _ => Err(ConfigError::Parse {
+            line,
+            message: format!("`{last}` is not an array of tables"),
+        }),
+    }
+}
+
+/// Resolves the table that `key = value` lines should land in.
+fn resolve_target<'t>(
+    root: &'t mut Table,
+    path: &[String],
+    is_array: bool,
+    line: usize,
+) -> Result<&'t mut Table, ConfigError> {
+    if !is_array {
+        return ensure_table(root, path, line);
+    }
+    let (last, parents) = match path.split_last() {
+        Some(split) => split,
+        None => return ensure_table(root, path, line),
+    };
+    let parent = ensure_table(root, parents, line)?;
+    match parent.get_mut(last) {
+        Some(Value::TableArray(ts)) => match ts.last_mut() {
+            Some(t) => Ok(t),
+            None => Err(ConfigError::Parse {
+                line,
+                message: format!("no open [[{last}]] entry"),
+            }),
+        },
+        _ => Err(ConfigError::Parse {
+            line,
+            message: format!("`{last}` is not an array of tables"),
+        }),
+    }
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, ConfigError> {
+    if let Some(rest) = text.strip_prefix('"') {
+        let (s, consumed) = parse_string(rest, line)?;
+        if rest[consumed..].trim().is_empty() {
+            Ok(Value::Str(s))
+        } else {
+            Err(ConfigError::Parse {
+                line,
+                message: "trailing characters after string".to_string(),
+            })
+        }
+    } else if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.trim_end();
+        let inner = inner.strip_suffix(']').ok_or_else(|| ConfigError::Parse {
+            line,
+            message: "unterminated array (arrays must be single-line)".to_string(),
+        })?;
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if !piece.is_empty() {
+                items.push(parse_value(piece, line)?);
+            }
+        }
+        Ok(Value::Array(items))
+    } else if text == "true" {
+        Ok(Value::Bool(true))
+    } else if text == "false" {
+        Ok(Value::Bool(false))
+    } else if let Ok(n) = text.replace('_', "").parse::<i64>() {
+        Ok(Value::Int(n))
+    } else {
+        Err(ConfigError::Parse {
+            line,
+            message: format!("unsupported value `{text}`"),
+        })
+    }
+}
+
+/// Parses a string body (after the opening quote); returns (value, bytes
+/// consumed including the closing quote).
+fn parse_string(rest: &str, line: usize) -> Result<(String, usize), ConfigError> {
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, i + 1)),
+            '\\' => match chars.next() {
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                other => {
+                    return Err(ConfigError::Parse {
+                        line,
+                        message: format!("unsupported escape `\\{:?}`", other.map(|(_, c)| c)),
+                    })
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err(ConfigError::Parse {
+        line,
+        message: "unterminated string".to_string(),
+    })
+}
+
+/// Splits an array body on top-level commas (commas inside strings survive).
+fn split_top_level(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_policy_shape() {
+        let cfg = Config::from_toml(
+            r#"
+# comment
+[workspace]
+scan = ["src", "crates"]
+skip = ["crates/vendor"]
+
+[persist_ordering]
+zones = ["a.rs"]
+
+[panic_free]
+zones = ["b.rs"]
+
+[unsafe_audit]
+forbid = ["c.rs"]
+deny = ["d.rs"]
+audited = ["e.rs"]
+
+[[atomic_ordering.pinned]]
+file = "f.rs"
+allowed = ["Relaxed"]
+
+[[allow]]
+lint = "persist-ordering"
+file = "g.rs"
+contains = "pool.drain()"
+justification = "one drain per destination tier, not per chunk"
+"#,
+        )
+        .expect("valid policy");
+        assert_eq!(cfg.scan, ["src", "crates"]);
+        assert_eq!(cfg.pinned_atomics.len(), 1);
+        assert_eq!(cfg.pinned_atomics[0].allowed, ["Relaxed"]);
+        assert_eq!(cfg.allows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        let err = Config::from_toml("[workspace]\nscna = [\"src\"]\n").unwrap_err();
+        assert_eq!(err, ConfigError::UnknownKey("workspace.scna".to_string()));
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let err = Config::from_toml(
+            "[[allow]]\nlint = \"x\"\nfile = \"y\"\ncontains = \"z\"\njustification = \"meh\"\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::AllowEntry(_)), "{err:?}");
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let src = "[a.b]\nx = [\"s\", 1, true]\n[[a.c]]\ny = \"z # not comment\"\n";
+        for end in 0..=src.len() {
+            if src.is_char_boundary(end) {
+                let _ = Config::from_toml(&src[..end]);
+            }
+        }
+    }
+}

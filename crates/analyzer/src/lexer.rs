@@ -1,0 +1,362 @@
+//! A small, panic-free Rust token scanner.
+//!
+//! This is deliberately not a full lexer: the lints only need to know, for
+//! every byte of a source file, whether it is *code*, a *comment* or a
+//! *literal*, plus identifier/punctuation boundaries and line numbers. The
+//! scanner therefore understands exactly the constructs that can hide a
+//! keyword from a naive `grep` — line and (nested) block comments, string /
+//! raw-string / byte-string / char literals and lifetimes — and classifies
+//! everything else into identifiers, numbers and single-character punctuation.
+//!
+//! Invariants:
+//! - Total: every input, including truncated or garbage text, produces a
+//!   token stream. Unterminated literals and comments extend to end of input.
+//! - Never panics (the golden tests sweep byte-level truncations through it).
+//! - Lossless enough: concatenating token texts restores the input exactly.
+
+/// What a token is, as far as the lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `drain`, `SIZE`, ...).
+    Ident,
+    /// Lifetime such as `'a` (kept distinct so `'a` is never a char literal).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`0x1f`, `1_000u64`).
+    Number,
+    /// String, raw string, byte string, byte or char literal.
+    Literal,
+    /// `//` or `/* */` comment, doc comments included. Text keeps the
+    /// delimiters so lints can search for `SAFETY:` markers verbatim.
+    Comment,
+    /// One character of punctuation (`{`, `.`, `#`, ...).
+    Punct,
+    /// Whitespace run (kept so token texts concatenate back to the input).
+    Whitespace,
+}
+
+/// One scanned token: kind, verbatim text and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token participates in code (not a comment or whitespace).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::Comment | TokenKind::Whitespace)
+    }
+
+    /// The punctuation character, if this is a punct token.
+    pub fn punct(&self) -> Option<char> {
+        if self.kind == TokenKind::Punct {
+            self.text.chars().next()
+        } else {
+            None
+        }
+    }
+}
+
+/// Scans `src` into a token stream. Total and panic-free by construction.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1u32;
+
+    while pos < bytes.len() {
+        let start = pos;
+        let start_line = line;
+        let c = bytes[pos];
+        let kind = if c.is_ascii_whitespace() {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                if bytes[pos] == b'\n' {
+                    line += 1;
+                }
+                pos += 1;
+            }
+            TokenKind::Whitespace
+        } else if c == b'/' && peek(bytes, pos + 1) == Some(b'/') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            TokenKind::Comment
+        } else if c == b'/' && peek(bytes, pos + 1) == Some(b'*') {
+            pos += 2;
+            let mut depth = 1usize;
+            while pos < bytes.len() && depth > 0 {
+                if bytes[pos] == b'\n' {
+                    line += 1;
+                    pos += 1;
+                } else if bytes[pos] == b'/' && peek(bytes, pos + 1) == Some(b'*') {
+                    depth += 1;
+                    pos += 2;
+                } else if bytes[pos] == b'*' && peek(bytes, pos + 1) == Some(b'/') {
+                    depth -= 1;
+                    pos += 2;
+                } else {
+                    pos += 1;
+                }
+            }
+            TokenKind::Comment
+        } else if c == b'"' {
+            pos = scan_string(bytes, pos, &mut line);
+            TokenKind::Literal
+        } else if (c == b'b' || c == b'r') && is_literal_prefix(bytes, pos) {
+            pos = scan_prefixed_literal(bytes, pos, &mut line);
+            TokenKind::Literal
+        } else if c == b'\'' {
+            let (end, kind) = scan_quote(bytes, pos, &mut line);
+            pos = end;
+            kind
+        } else if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 {
+            while pos < bytes.len() && is_ident_continue(bytes[pos]) {
+                pos += 1;
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            pos = scan_number(bytes, pos);
+            TokenKind::Number
+        } else {
+            pos += 1;
+            TokenKind::Punct
+        };
+        tokens.push(Token {
+            kind,
+            text: String::from_utf8_lossy(&bytes[start..pos]).into_owned(),
+            line: start_line,
+        });
+    }
+    tokens
+}
+
+fn peek(bytes: &[u8], at: usize) -> Option<u8> {
+    bytes.get(at).copied()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// Is the `b`/`r` at `pos` the start of a literal (`b"`, `r"`, `br"`, `r#"`,
+/// `b'`...) rather than an identifier?
+fn is_literal_prefix(bytes: &[u8], pos: usize) -> bool {
+    let mut at = pos;
+    // Accept `b`, `r`, `br` and `rb` (the latter is invalid Rust but harmless
+    // to accept here) followed by quote or raw-string hashes.
+    while at < bytes.len() && (bytes[at] == b'b' || bytes[at] == b'r') && at - pos < 2 {
+        at += 1;
+    }
+    match peek(bytes, at) {
+        Some(b'"') => true,
+        Some(b'#') => {
+            // Raw string: hashes then a quote. `r#ident` (raw identifier) has
+            // no quote after the hashes.
+            let mut h = at;
+            while peek(bytes, h) == Some(b'#') {
+                h += 1;
+            }
+            peek(bytes, h) == Some(b'"')
+        }
+        Some(b'\'') => bytes[pos] == b'b' && at == pos + 1, // b'x'
+        _ => false,
+    }
+}
+
+/// Scans a (possibly byte/raw) literal starting at the `b`/`r` prefix.
+fn scan_prefixed_literal(bytes: &[u8], mut pos: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    while pos < bytes.len() && (bytes[pos] == b'b' || bytes[pos] == b'r') {
+        raw |= bytes[pos] == b'r';
+        pos += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while peek(bytes, pos) == Some(b'#') {
+            hashes += 1;
+            pos += 1;
+        }
+        if peek(bytes, pos) != Some(b'"') {
+            return pos; // not actually a raw string; treat prefix as consumed
+        }
+        pos += 1;
+        // Scan to `"` followed by `hashes` hashes; no escapes in raw strings.
+        while pos < bytes.len() {
+            if bytes[pos] == b'\n' {
+                *line += 1;
+                pos += 1;
+            } else if bytes[pos] == b'"'
+                && bytes[pos + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes
+            {
+                return pos + 1 + hashes;
+            } else {
+                pos += 1;
+            }
+        }
+        pos
+    } else if peek(bytes, pos) == Some(b'\'') {
+        let (end, _) = scan_quote(bytes, pos, line);
+        end
+    } else {
+        scan_string(bytes, pos, line)
+    }
+}
+
+/// Scans a `"..."` string starting at the opening quote at `pos`.
+fn scan_string(bytes: &[u8], mut pos: usize, line: &mut u32) -> usize {
+    pos += 1;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos = (pos + 2).min(bytes.len()),
+            b'"' => return pos + 1,
+            b'\n' => {
+                *line += 1;
+                pos += 1;
+            }
+            _ => pos += 1,
+        }
+    }
+    pos
+}
+
+/// Scans a `'` at `pos`: either a char literal or a lifetime.
+fn scan_quote(bytes: &[u8], pos: usize, line: &mut u32) -> (usize, TokenKind) {
+    // `'\...'` is always a char literal; `'x'` is a char literal; `'ident`
+    // not followed by a closing quote is a lifetime.
+    match peek(bytes, pos + 1) {
+        Some(b'\\') => {
+            // Escape: scan to the closing quote.
+            let mut at = pos + 2;
+            while at < bytes.len() && bytes[at] != b'\'' {
+                if bytes[at] == b'\n' {
+                    *line += 1;
+                }
+                at += 1;
+            }
+            ((at + 1).min(bytes.len()), TokenKind::Literal)
+        }
+        Some(c) if is_ident_continue(c) => {
+            let mut at = pos + 2;
+            while at < bytes.len() && is_ident_continue(bytes[at]) {
+                at += 1;
+            }
+            if peek(bytes, at) == Some(b'\'') && at == pos + 2 {
+                // Exactly one ident char then a quote: 'x' char literal.
+                (at + 1, TokenKind::Literal)
+            } else {
+                (at, TokenKind::Lifetime)
+            }
+        }
+        Some(b'\'') => (pos + 2, TokenKind::Lifetime), // `''` — malformed, consume
+        Some(_) => {
+            // `'('` style char literal of punctuation.
+            if peek(bytes, pos + 2) == Some(b'\'') {
+                (pos + 3, TokenKind::Literal)
+            } else {
+                (pos + 1, TokenKind::Punct)
+            }
+        }
+        None => (pos + 1, TokenKind::Punct),
+    }
+}
+
+/// Scans a numeric literal (ints, floats, underscores, radix, suffixes).
+fn scan_number(bytes: &[u8], mut pos: usize) -> usize {
+    pos += 1;
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            pos += 1;
+        } else if c == b'.' && peek(bytes, pos + 1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` continues the number; `1..n` does not.
+            pos += 1;
+        } else {
+            break;
+        }
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_verbatim() {
+        let src = "fn f() { /* a /* nested */ b */ let s = \"un\\\"safe\"; } // tail";
+        let rebuilt: String = lex(src).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn keyword_in_string_is_not_ident() {
+        let toks = kinds("let s = \"unsafe drain\"; // unsafe too");
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "unsafe" || t == "drain")));
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        for src in [
+            "r\"unsafe\"",
+            "r#\"un\"safe\"#",
+            "br#\"drain\"#",
+            "b\"flush\"",
+            "b'x'",
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src}: {toks:?}");
+            assert_eq!(toks[0].0, TokenKind::Literal, "{src}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'b' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t == "'b'"));
+    }
+
+    #[test]
+    fn line_numbers_track_all_multiline_tokens() {
+        let src = "a\n/* x\ny */\n\"s\ntr\"\nb";
+        let toks = lex(src);
+        let a = toks.iter().find(|t| t.text == "a").map(|t| t.line);
+        let b = toks.iter().find(|t| t.text == "b").map(|t| t.line);
+        assert_eq!((a, b), (Some(1), Some(6)));
+    }
+
+    #[test]
+    fn truncations_never_panic() {
+        let src = "fn f() { let s = r#\"x\"#; /* c */ 'a: loop { break 'a; } }";
+        for end in 0..=src.len() {
+            if src.is_char_boundary(end) {
+                let _ = lex(&src[..end]);
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! `repro-analyze` — the workspace invariant analyzer.
+//!
+//! The repo's load-bearing source-level invariants — one drain per persist
+//! invocation, audited-modules-only `unsafe`, panic-free crash/recovery/
+//! compile paths, pinned atomic-ordering protocols, typed public errors —
+//! used to live in two CI `grep` lines and ROADMAP prose. This crate makes
+//! them a checked, machine-readable contract: a dependency-free static-
+//! analysis pass (hand-rolled string/comment/attribute-aware scanner; no
+//! `syn`, no rustc plugins, in the same vendored-everything spirit as the
+//! rest of the workspace) driven by per-module policy zones in the root
+//! `analyzer.toml`.
+//!
+//! Diagnostics print `file:line` with the violated rule and a fix hint;
+//! `repro-analyze check` writes a machine-readable `ANALYSIS.json`; findings
+//! can be waived by `[[allow]]` entries with mandatory justifications (and a
+//! waiver that stops matching anything fails the run as stale).
+//!
+//! ```
+//! use repro_analyze::analyze_snippet;
+//!
+//! // A public fallible API that stringifies its error...
+//! let findings = analyze_snippet(
+//!     "demo.rs",
+//!     "pub fn load() -> Result<(), String> { Err(\"nope\".to_string()) }\n",
+//! );
+//! // ...is exactly what the error-hygiene lint exists to catch.
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].lint, "error-hygiene");
+//! assert_eq!(findings[0].line, 1);
+//!
+//! // The same API with a typed error is clean.
+//! let clean = analyze_snippet(
+//!     "demo.rs",
+//!     "pub enum LoadError { Missing }\n\
+//!      pub fn load() -> Result<(), LoadError> { Err(LoadError::Missing) }\n",
+//! );
+//! assert!(clean.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+pub use config::{AllowEntry, Config, ConfigError, PinnedAtomics};
+pub use engine::{analyze_snippet, analyze_source, analyze_workspace};
+pub use findings::{Finding, Report};
+pub use lints::{lint_by_id, Lint, LINTS};
+
+use std::fmt;
+
+/// Top-level error for a `repro-analyze` run.
+#[derive(Debug)]
+pub enum AnalyzerError {
+    /// The policy file is missing or malformed.
+    Config(ConfigError),
+    /// A file or directory could not be read or written.
+    Io(String),
+    /// The command line was malformed.
+    Usage(String),
+}
+
+impl fmt::Display for AnalyzerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzerError::Config(e) => write!(f, "{e}"),
+            AnalyzerError::Io(e) => write!(f, "io error: {e}"),
+            AnalyzerError::Usage(e) => write!(f, "usage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzerError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for AnalyzerError {
+    fn from(e: ConfigError) -> Self {
+        AnalyzerError::Config(e)
+    }
+}

@@ -1,0 +1,74 @@
+//! atomic-ordering: keep the memory-ordering story deliberate.
+//!
+//! Two rules over non-test code:
+//!
+//! 1. `Ordering::SeqCst` anywhere in the workspace needs an adjacent
+//!    `// ORDERING:` comment explaining why the strongest (and most
+//!    expensive) ordering is required. SeqCst is almost always a shrug; a
+//!    shrug on a hot path is a perf bug and on a cold path a missing
+//!    explanation.
+//! 2. Modules pinned in `[[atomic_ordering.pinned]]` (the documented
+//!    Relaxed / Acquire-Release protocols of the stream executor and the
+//!    tiering tracker) may only use their listed orderings — no comment can
+//!    override a pin; changing the protocol means changing analyzer.toml in
+//!    the same diff, where the reviewer sees it.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::lints::finding;
+use crate::source::SourceFile;
+
+pub(super) fn run(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let pinned = cfg
+        .pinned_atomics
+        .iter()
+        .find(|p| p.file == file.path)
+        .map(|p| &p.allowed);
+    let code = &file.code;
+    for (i, t) in code.iter().enumerate() {
+        // Match `Ordering :: <Variant>`.
+        if t.kind != TokenKind::Ident || t.text != "Ordering" {
+            continue;
+        }
+        if code.get(i + 1).and_then(|t| t.punct()) != Some(':')
+            || code.get(i + 2).and_then(|t| t.punct()) != Some(':')
+        {
+            continue;
+        }
+        let variant = match code.get(i + 3) {
+            Some(v) if v.kind == TokenKind::Ident => v,
+            _ => continue,
+        };
+        if file.is_test_line(variant.line) {
+            continue;
+        }
+        if let Some(allowed) = pinned {
+            if !allowed.iter().any(|a| a == &variant.text) {
+                out.push(finding(
+                    "atomic-ordering",
+                    file,
+                    variant.line,
+                    format!(
+                        "`Ordering::{}` breaks this module's pinned protocol (allowed: {})",
+                        variant.text,
+                        allowed.join(", ")
+                    ),
+                    "use the pinned orderings, or change the protocol in analyzer.toml in the same diff",
+                ));
+                continue;
+            }
+        }
+        if variant.text == "SeqCst" && !file.comment_near(variant.line, 2, "ORDERING:") {
+            out.push(finding(
+                "atomic-ordering",
+                file,
+                variant.line,
+                "`Ordering::SeqCst` without a justifying `// ORDERING:` comment".to_string(),
+                "downgrade to the ordering the algorithm needs, or justify SeqCst in an `// ORDERING:` comment",
+            ));
+        }
+    }
+    out
+}

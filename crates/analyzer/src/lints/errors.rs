@@ -1,0 +1,127 @@
+//! error-hygiene: public fallible APIs return the crate's typed error.
+//!
+//! A `pub fn` (bare `pub`; `pub(crate)` and narrower are internal) in
+//! non-test library code must not declare a return type containing
+//! `Box<dyn ... Error ...>` or `Result<_, String>`: both erase the error's
+//! identity, which breaks callers that need to match on failure modes (the
+//! cluster layer's typed coherence errors are the house style). Binaries'
+//! private plumbing and `fn main` in examples are out of scope — the lint
+//! only sees `src` trees, and only public functions.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::lints::finding;
+use crate::source::SourceFile;
+
+pub(super) fn run(file: &SourceFile, _cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &file.functions {
+        if !f.is_public || file.is_test_line(f.line) {
+            continue;
+        }
+        let (start, end) = match f.ret_range {
+            Some(range) => range,
+            None => continue,
+        };
+        let ret = &file.code[start.min(file.code.len())..end.min(file.code.len())];
+        if let Some(line) = boxed_dyn_error(ret) {
+            out.push(finding(
+                "error-hygiene",
+                file,
+                line,
+                format!("public fn `{}` returns `Box<dyn Error>`", f.name),
+                "return the crate's typed error enum so callers can match on failure modes",
+            ));
+        }
+        if let Some(line) = string_error(ret) {
+            out.push(finding(
+                "error-hygiene",
+                file,
+                line,
+                format!("public fn `{}` returns `Result<_, String>`", f.name),
+                "return the crate's typed error enum so callers can match on failure modes",
+            ));
+        }
+    }
+    out
+}
+
+/// Detects `Box < dyn ... Error ... >` in a return-type token slice.
+fn boxed_dyn_error(ret: &[Token]) -> Option<u32> {
+    for (i, t) in ret.iter().enumerate() {
+        if t.kind == TokenKind::Ident
+            && t.text == "Box"
+            && ret.get(i + 1).and_then(|t| t.punct()) == Some('<')
+            && ret.get(i + 2).map(|t| t.text.as_str()) == Some("dyn")
+        {
+            // Scan the generic argument for an `Error`-suffixed identifier.
+            let mut depth = 0i32;
+            for u in &ret[i + 1..] {
+                match u.punct() {
+                    Some('<') => depth += 1,
+                    Some('>') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if u.kind == TokenKind::Ident && u.text == "Error" {
+                    return Some(u.line);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Detects `Result < _ , String >` (with optional path prefixes) in a
+/// return-type token slice.
+fn string_error(ret: &[Token]) -> Option<u32> {
+    for (i, t) in ret.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "Result" {
+            continue;
+        }
+        if ret.get(i + 1).and_then(|t| t.punct()) != Some('<') {
+            continue;
+        }
+        // Find the top-level comma and matching `>`.
+        let mut depth = 0i32;
+        let mut comma_at = None;
+        let mut close_at = None;
+        for (j, u) in ret.iter().enumerate().skip(i + 1) {
+            match u.punct() {
+                Some('<') | Some('(') | Some('[') => depth += 1,
+                Some('>') | Some(')') | Some(']') => {
+                    depth -= 1;
+                    if depth == 0 && u.punct() == Some('>') {
+                        close_at = Some(j);
+                        break;
+                    }
+                }
+                Some(',') if depth == 1 => comma_at = Some(j),
+                _ => {}
+            }
+        }
+        let (comma, close) = match (comma_at, close_at) {
+            (Some(c), Some(e)) => (c, e),
+            _ => continue,
+        };
+        // The error side must be exactly a path ending in `String`.
+        let err_side: Vec<&Token> = ret[comma + 1..close].iter().collect();
+        let idents: Vec<&str> = err_side
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        let only_path = err_side
+            .iter()
+            .all(|t| t.kind == TokenKind::Ident || t.punct() == Some(':'));
+        if only_path && idents.last() == Some(&"String") {
+            return Some(ret[comma].line);
+        }
+    }
+    None
+}

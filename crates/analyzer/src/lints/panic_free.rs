@@ -1,0 +1,127 @@
+//! panic-free: the crash/recovery/compile paths that claim never to panic.
+//!
+//! In a configured panic-free zone, non-test code must not contain:
+//!
+//! - `.unwrap()` / `.expect(...)` — return the crate's typed error instead;
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!` / `assert!`-free
+//!   macros that abort (`assert*` is deliberately allowed: a checked
+//!   invariant with a message is a decision, not an accident);
+//! - dynamic indexing (`xs[i]`, `map[&key]`, `buf[at..at + 8]`) without an
+//!   adjacent `// in-bounds:` justification. Indexing whose bracket contents
+//!   are entirely literals and `CONST_CASE` names (`out[..24]`,
+//!   `desc[8..12]`, `hdr[..HEADER_LEN / 2]`) is compile-time bounded against
+//!   fixed-size buffers and does not fire.
+//!
+//! The justification comment is load-bearing: it converts "this can panic"
+//! into "this was audited not to", one site at a time, and the golden tests
+//! pin that an unjustified site fires.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::lints::{finding, in_zone};
+use crate::source::{is_keyword, SourceFile};
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub(super) fn run(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !in_zone(&file.path, &cfg.panic_free_zones) {
+        return out;
+    }
+    let code = &file.code;
+    for (i, t) in code.iter().enumerate() {
+        if file.is_test_line(t.line) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let is_method = i > 0
+                    && code[i - 1].punct() == Some('.')
+                    && code.get(i + 1).and_then(|t| t.punct()) == Some('(');
+                if is_method {
+                    out.push(finding(
+                        "panic-free",
+                        file,
+                        t.line,
+                        format!("`.{}()` in a panic-free zone", t.text),
+                        "return the crate's typed error (`?` with ok_or/map_err) instead of panicking",
+                    ));
+                }
+            }
+            TokenKind::Ident
+                if PANIC_MACROS.contains(&t.text.as_str())
+                    && code.get(i + 1).and_then(|t| t.punct()) == Some('!') =>
+            {
+                out.push(finding(
+                    "panic-free",
+                    file,
+                    t.line,
+                    format!("`{}!` in a panic-free zone", t.text),
+                    "make the case unrepresentable or return a typed error for it",
+                ));
+            }
+            TokenKind::Punct if t.punct() == Some('[') && is_index_expr(file, i) => {
+                if let Some(end) = bracket_end(file, i) {
+                    if is_dynamic_index(file, i, end) && !file.comment_near(t.line, 2, "in-bounds:")
+                    {
+                        out.push(finding(
+                            "panic-free",
+                            file,
+                            t.line,
+                            "dynamic indexing in a panic-free zone without an `// in-bounds:` audit"
+                                .to_string(),
+                            "use .get()/.get_mut() with a typed error, or add an `// in-bounds:` comment proving the bound",
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Is the `[` at `i` an index expression (rather than an array literal,
+/// attribute, or slice type)? True when the previous code token could end an
+/// expression: a non-keyword identifier, `)`, `]`, or a literal.
+fn is_index_expr(file: &SourceFile, i: usize) -> bool {
+    let prev = match i.checked_sub(1).and_then(|p| file.code.get(p)) {
+        Some(prev) => prev,
+        None => return false,
+    };
+    match prev.kind {
+        TokenKind::Ident => !is_keyword(&prev.text) || prev.text == "self",
+        TokenKind::Punct => matches!(prev.punct(), Some(')') | Some(']')),
+        _ => false,
+    }
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn bracket_end(file: &SourceFile, open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in file.code.iter().enumerate().skip(open) {
+        match t.punct() {
+            Some('[') => depth += 1,
+            Some(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Bracket contents are dynamic if any identifier inside looks like a runtime
+/// value: lowercase names (`i`, `slot`, `self`). `CONST_CASE` names, type
+/// paths (`T::SIZE`) and literals are compile-time bounded.
+fn is_dynamic_index(file: &SourceFile, open: usize, close: usize) -> bool {
+    file.code[open + 1..close].iter().any(|t| {
+        t.kind == TokenKind::Ident
+            && !is_keyword(&t.text)
+            && t.text.chars().any(|c| c.is_lowercase())
+    })
+}

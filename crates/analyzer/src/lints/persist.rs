@@ -1,0 +1,112 @@
+//! persist-ordering: the §4 flush/fence discipline, statically.
+//!
+//! The persist path's contract is "≤ workers flushes + exactly one drain per
+//! invocation": `flush` calls are cheap per-chunk cache-line write-backs that
+//! may fan out, and `drain` is the store fence that makes the batch durable —
+//! issued once, after the fan-out, never per chunk. Three rules per function
+//! in a persist zone (test code excluded):
+//!
+//! 1. `drain` must not be called inside a `for`/`while`/`loop` body.
+//! 2. A function calls `drain` at most once (one fence per invocation).
+//! 3. A flush fan-out (a `flush` call inside a loop, or two-plus `flush`
+//!    calls) must reach a `drain` in the same function before returning.
+//!
+//! Forwarding wrappers named `flush`/`drain` (the pool/tracker plumbing) are
+//! exempt from rule 3 — they are the primitive, not the fan-out.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lints::{finding, in_zone};
+use crate::source::{walk_body, SourceFile};
+
+pub(super) fn run(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !in_zone(&file.path, &cfg.persist_zones) {
+        return out;
+    }
+    for f in &file.functions {
+        if file.is_test_line(f.line) {
+            continue;
+        }
+        let (open, close) = match f.body_range {
+            Some(range) => range,
+            None => continue,
+        };
+        let mut flush_calls = 0usize;
+        let mut flush_in_loop = false;
+        let mut drains: Vec<(u32, usize)> = Vec::new(); // (line, loop_depth)
+        walk_body(&file.code, open, close, |i, loop_depth| {
+            if let Some(callee) = method_call(file, i) {
+                match callee {
+                    "flush" => {
+                        flush_calls += 1;
+                        flush_in_loop |= loop_depth > 0;
+                    }
+                    "drain" => drains.push((file.code[i + 1].line, loop_depth)),
+                    _ => {}
+                }
+            }
+        });
+        for &(line, depth) in &drains {
+            if depth > 0 {
+                out.push(finding(
+                    "persist-ordering",
+                    file,
+                    line,
+                    format!(
+                        "`{}` calls drain() inside a loop; the fence must cover the whole \
+                         flush batch, not each chunk",
+                        f.name
+                    ),
+                    "hoist the drain() past the loop so one fence covers every flushed chunk",
+                ));
+            }
+        }
+        if drains.len() > 1 {
+            out.push(finding(
+                "persist-ordering",
+                file,
+                drains[1].0,
+                format!(
+                    "`{}` drains {} times in one invocation; the contract is exactly one \
+                     fence per persist batch",
+                    f.name,
+                    drains.len()
+                ),
+                "merge the persist phases so a single drain() ends the invocation",
+            ));
+        }
+        let is_forwarder = f.name == "flush" || f.name == "drain";
+        if drains.is_empty() && (flush_in_loop || flush_calls >= 2) && !is_forwarder {
+            out.push(finding(
+                "persist-ordering",
+                file,
+                f.line,
+                format!(
+                    "`{}` fans out {} flush call(s){} but never drains; flushed lines are \
+                     not durable until the fence",
+                    f.name,
+                    flush_calls,
+                    if flush_in_loop { " (in a loop)" } else { "" }
+                ),
+                "end the fan-out with exactly one drain() before returning or publishing",
+            ));
+        }
+    }
+    out
+}
+
+/// If `code[i]` is the `.` of a method call `.name(`, returns the name.
+fn method_call(file: &SourceFile, i: usize) -> Option<&str> {
+    if file.code.get(i)?.punct() != Some('.') {
+        return None;
+    }
+    let name = file.code.get(i + 1)?;
+    if name.kind != crate::lexer::TokenKind::Ident {
+        return None;
+    }
+    if file.code.get(i + 2)?.punct() != Some('(') {
+        return None;
+    }
+    Some(&name.text)
+}

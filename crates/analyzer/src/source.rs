@@ -1,0 +1,433 @@
+//! Per-file source model shared by every lint.
+//!
+//! Wraps the raw token stream from [`crate::lexer`] with the structure the
+//! lints actually query: which lines are test code (`#[cfg(test)]` items and
+//! `#[test]` functions), where function bodies start and end, and adjacency
+//! lookups for justification comments (`SAFETY:`, `ORDERING:`, `in-bounds:`).
+//!
+//! The model is heuristic by design — it never executes macros or resolves
+//! names — but it is conservative in the direction the lints need: a token it
+//! cannot place is treated as *code outside any function*, which every lint
+//! treats as in scope.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Rust keywords that can precede `[` without forming an index expression.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "static", "struct", "super", "trait", "true", "type",
+    "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Is this identifier a Rust keyword?
+pub fn is_keyword(ident: &str) -> bool {
+    KEYWORDS.contains(&ident)
+}
+
+/// One `fn` item discovered in the file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// Whether the function is `pub` without a visibility restriction
+    /// (`pub(crate)` and narrower do not count as public API).
+    pub is_public: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Code-token index range of the return type (between `->` and the body
+    /// brace or `where` clause), if the function declares one.
+    pub ret_range: Option<(usize, usize)>,
+    /// Code-token index range `(open, close)` of the body braces, if the
+    /// function has a body (trait method declarations do not).
+    pub body_range: Option<(usize, usize)>,
+}
+
+/// A lexed file plus the derived structure lints query.
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// Raw source lines (for diagnostics and allowlist matching).
+    pub lines: Vec<String>,
+    /// Code tokens only (comments and whitespace stripped).
+    pub code: Vec<Token>,
+    /// Comment tokens only (for justification-comment adjacency checks).
+    pub comments: Vec<Token>,
+    /// `is_test_line[line - 1]`: the line belongs to `#[cfg(test)]` or
+    /// `#[test]` items.
+    pub test_lines: Vec<bool>,
+    /// Every `fn` item in the file, in source order.
+    pub functions: Vec<FnInfo>,
+}
+
+impl SourceFile {
+    /// Lexes and models `text` under the given repo-relative `path`.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let code: Vec<Token> = tokens.iter().filter(|t| t.is_code()).cloned().collect();
+        let comments: Vec<Token> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Comment)
+            .cloned()
+            .collect();
+        let mut file = SourceFile {
+            path: path.to_string(),
+            test_lines: vec![false; lines.len()],
+            lines,
+            code,
+            comments,
+            functions: Vec::new(),
+        };
+        file.mark_test_regions();
+        file.find_functions();
+        file
+    }
+
+    /// Whether the 1-based `line` is inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The verbatim source line (1-based), or empty if out of range.
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Whether any comment within `[line - above, line]` contains `marker`.
+    pub fn comment_near(&self, line: u32, above: u32, marker: &str) -> bool {
+        let lo = line.saturating_sub(above);
+        self.comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= line && c.text.contains(marker))
+    }
+
+    /// Finds `#[cfg(test)]` / `#[test]` attributes and marks the lines of the
+    /// item that follows (through its closing brace or semicolon) as test
+    /// code.
+    fn mark_test_regions(&mut self) {
+        let code = &self.code;
+        let mut i = 0;
+        while i < code.len() {
+            if let Some(after_attr) = test_attribute_end(code, i) {
+                // Skip any further attributes between this one and the item.
+                let mut at = after_attr;
+                while code.get(at).and_then(|t| t.punct()) == Some('#') {
+                    at = skip_attribute(code, at);
+                }
+                let start_line = code[i].line;
+                let end_line = item_end_line(code, at);
+                let lo = start_line.saturating_sub(1) as usize;
+                let hi = (end_line as usize).min(self.test_lines.len());
+                for flag in &mut self.test_lines[lo..hi] {
+                    *flag = true;
+                }
+                i = at;
+            }
+            i += 1;
+        }
+    }
+
+    /// Discovers `fn` items: name, visibility, return-type and body ranges.
+    fn find_functions(&mut self) {
+        let code = &self.code;
+        let mut i = 0;
+        while i < code.len() {
+            let t = &code[i];
+            if t.kind != TokenKind::Ident || t.text != "fn" {
+                i += 1;
+                continue;
+            }
+            let name = match code.get(i + 1) {
+                Some(n) if n.kind == TokenKind::Ident => n.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let is_public = fn_is_public(code, i);
+            // Parameter list: find the `(` and skip to its match.
+            let mut at = i + 2;
+            // Generic parameters `<...>` may sit between name and params.
+            if code.get(at).and_then(|t| t.punct()) == Some('<') {
+                at = skip_angle_brackets(code, at);
+            }
+            if code.get(at).and_then(|t| t.punct()) != Some('(') {
+                i += 1;
+                continue;
+            }
+            let params_end = match skip_balanced(code, at, '(', ')') {
+                Some(end) => end,
+                None => break, // truncated input: no params close, stop scanning
+            };
+            // Return type: `-> ...` up to `{`, `;` or `where`.
+            let mut ret_range = None;
+            let mut body_range = None;
+            let mut j = params_end + 1;
+            if code.get(j).and_then(|t| t.punct()) == Some('-')
+                && code.get(j + 1).and_then(|t| t.punct()) == Some('>')
+            {
+                let ret_start = j + 2;
+                let mut k = ret_start;
+                let mut depth = 0i32;
+                while let Some(tok) = code.get(k) {
+                    match tok.punct() {
+                        Some('<') => depth += 1,
+                        Some('>') => depth -= 1,
+                        Some('(') | Some('[') => depth += 1,
+                        Some(')') | Some(']') => depth -= 1,
+                        Some('{') if depth <= 0 => break,
+                        Some(';') if depth <= 0 => break,
+                        _ => {}
+                    }
+                    if tok.kind == TokenKind::Ident && tok.text == "where" && depth <= 0 {
+                        break;
+                    }
+                    k += 1;
+                }
+                ret_range = Some((ret_start, k));
+                j = k;
+            }
+            // Body: next `{` at this level (skipping a `where` clause).
+            while let Some(tok) = code.get(j) {
+                match tok.punct() {
+                    Some('{') => {
+                        if let Some(close) = skip_balanced(code, j, '{', '}') {
+                            body_range = Some((j, close));
+                        }
+                        break;
+                    }
+                    Some(';') => break,
+                    _ => j += 1,
+                }
+            }
+            self.functions.push(FnInfo {
+                name,
+                is_public,
+                line: t.line,
+                ret_range,
+                body_range,
+            });
+            i += 1;
+        }
+    }
+}
+
+/// If `code[i]` opens a `#[cfg(test)]` or `#[test]` attribute, returns the
+/// index just past the closing `]`.
+fn test_attribute_end(code: &[Token], i: usize) -> Option<usize> {
+    if code.get(i)?.punct() != Some('#') || code.get(i + 1)?.punct() != Some('[') {
+        return None;
+    }
+    let end = skip_balanced(code, i + 1, '[', ']')?;
+    let body: Vec<&str> = code[i + 2..end]
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    let is_test = body == ["test"] || (body.first() == Some(&"cfg") && body.contains(&"test"));
+    if is_test {
+        Some(end + 1)
+    } else {
+        None
+    }
+}
+
+/// Skips a `#[...]` attribute starting at the `#`; returns index past `]`.
+fn skip_attribute(code: &[Token], i: usize) -> usize {
+    if code.get(i + 1).and_then(|t| t.punct()) == Some('[') {
+        match skip_balanced(code, i + 1, '[', ']') {
+            Some(end) => end + 1,
+            None => code.len(),
+        }
+    } else {
+        i + 1
+    }
+}
+
+/// Given the opener at `open` (must be `open_ch`), returns the index of the
+/// matching `close_ch`, or `None` if the input is truncated.
+fn skip_balanced(code: &[Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = code.get(i) {
+        if t.punct() == Some(open_ch) {
+            depth += 1;
+        } else if t.punct() == Some(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Skips a generic parameter list `<...>`; returns index past the final `>`.
+/// Tolerates `>>`-free token streams because the lexer emits single-char
+/// puncts.
+fn skip_angle_brackets(code: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(t) = code.get(i) {
+        match t.punct() {
+            Some('<') => depth += 1,
+            Some('>') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The last line of the item starting at `at`: through the matching `}` for
+/// braced items, or the `;` for terse ones.
+fn item_end_line(code: &[Token], at: usize) -> u32 {
+    let mut i = at;
+    while let Some(t) = code.get(i) {
+        match t.punct() {
+            Some('{') => {
+                return match skip_balanced(code, i, '{', '}') {
+                    Some(close) => code[close].line,
+                    None => code.last().map(|t| t.line).unwrap_or(0),
+                };
+            }
+            Some(';') => return t.line,
+            _ => i += 1,
+        }
+    }
+    code.last().map(|t| t.line).unwrap_or(0)
+}
+
+/// Looks backwards from the `fn` at index `i` for a bare `pub` (visibility
+/// restrictions like `pub(crate)` do not count as public API).
+fn fn_is_public(code: &[Token], i: usize) -> bool {
+    let mut at = i;
+    while at > 0 {
+        at -= 1;
+        let t = &code[at];
+        match t.kind {
+            TokenKind::Ident
+                if matches!(t.text.as_str(), "const" | "async" | "unsafe" | "extern") =>
+            {
+                continue
+            }
+            TokenKind::Literal => continue, // extern "C"
+            TokenKind::Ident if t.text == "pub" => {
+                // `pub(...)` restricted visibility is not public API.
+                return code.get(at + 1).and_then(|t| t.punct()) != Some('(');
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Walks the code tokens of a function body, tracking whether each position
+/// is inside a `for`/`while`/`loop` body. Calls `visit(index, loop_depth)`
+/// for every token index in `(open, close)`.
+pub fn walk_body(code: &[Token], open: usize, close: usize, mut visit: impl FnMut(usize, usize)) {
+    // Stack of brace depths at which a loop body was entered.
+    let mut loop_stack: Vec<usize> = Vec::new();
+    let mut brace_depth = 0usize;
+    // A loop keyword arms the next `{` at paren-depth 0 as a loop body.
+    let mut armed = false;
+    let mut paren_depth = 0usize;
+    let mut i = open;
+    while i <= close {
+        let t = &code[i];
+        match t.punct() {
+            Some('{') => {
+                brace_depth += 1;
+                if armed && paren_depth == 0 {
+                    loop_stack.push(brace_depth);
+                    armed = false;
+                }
+            }
+            Some('}') => {
+                if loop_stack.last() == Some(&brace_depth) {
+                    loop_stack.pop();
+                }
+                brace_depth = brace_depth.saturating_sub(1);
+            }
+            Some('(') | Some('[') => paren_depth += 1,
+            Some(')') | Some(']') => paren_depth = paren_depth.saturating_sub(1),
+            _ => {}
+        }
+        if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "for" | "while" | "loop") {
+            // `impl Trait for Type` and `for<'a>` are not loops: a loop's
+            // `for` never follows an identifier or closing angle bracket and
+            // is never followed by `<`.
+            let prev_is_ident = i
+                .checked_sub(1)
+                .and_then(|p| code.get(p))
+                .is_some_and(|p| p.kind == TokenKind::Ident && !is_keyword(&p.text));
+            let next_is_angle = code.get(i + 1).and_then(|t| t.punct()) == Some('<');
+            if !prev_is_ident && !next_is_angle && paren_depth == 0 {
+                armed = true;
+            }
+        }
+        visit(i, loop_stack.len());
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_cfg_test_modules_and_test_fns() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n#[test]\nfn unit() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+        assert!(f.is_test_line(8));
+    }
+
+    #[test]
+    fn finds_functions_with_visibility_and_returns() {
+        let src = "pub fn a() -> Result<(), String> { Ok(()) }\npub(crate) fn b() {}\nfn c<T: Into<u64>>(x: T) -> u64 { x.into() }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let names: Vec<_> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(f.functions[0].is_public);
+        assert!(!f.functions[1].is_public, "pub(crate) is not public API");
+        assert!(f.functions[0].ret_range.is_some());
+        assert!(f.functions[2].body_range.is_some());
+    }
+
+    #[test]
+    fn loop_depth_tracks_loops_not_impl_for() {
+        let src = "fn f(xs: &[u64]) { for x in xs { touch(*x); } done(); }";
+        let f = SourceFile::parse("x.rs", src);
+        let (open, close) = f.functions[0].body_range.expect("body");
+        let mut at_touch = None;
+        let mut at_done = None;
+        walk_body(&f.code, open, close, |i, depth| {
+            if f.code[i].text == "touch" {
+                at_touch = Some(depth);
+            }
+            if f.code[i].text == "done" {
+                at_done = Some(depth);
+            }
+        });
+        assert_eq!(at_touch, Some(1));
+        assert_eq!(at_done, Some(0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Fixture-driven golden tests: every registered lint has a firing fixture
+//! (which must produce findings of exactly that lint) and a clean fixture
+//! (which must produce none at all).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use repro_analyze::{analyze_snippet, LINTS};
+
+fn fixture_dir(lint: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(lint)
+}
+
+fn fixture(lint: &str, name: &str) -> String {
+    let path = fixture_dir(lint).join(name);
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} is required: {e}", path.display()))
+}
+
+/// The counting assertion: the registry and the fixture tree move together.
+/// If this fails because you added a lint, add `fixtures/<id>/{fire,clean}.rs`
+/// and a catalogue row in ANALYSIS.md.
+#[test]
+fn every_lint_has_both_fixtures() {
+    assert_eq!(LINTS.len(), 5, "lint registry changed size");
+    for lint in LINTS {
+        fixture(lint.id, "fire.rs");
+        fixture(lint.id, "clean.rs");
+    }
+    // And the fixture tree has no orphan directories for retired lints.
+    let dirs = fs::read_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures"))
+        .expect("fixtures directory");
+    for entry in dirs {
+        let name = entry.expect("fixture entry").file_name();
+        let name = name.to_string_lossy();
+        assert!(
+            LINTS.iter().any(|l| l.id == name),
+            "fixtures/{name} does not correspond to a registered lint"
+        );
+    }
+}
+
+#[test]
+fn fire_fixtures_fire_exactly_their_lint() {
+    let expected = [
+        ("persist-ordering", 2),
+        ("unsafe-audit", 1),
+        ("panic-free", 3),
+        ("atomic-ordering", 1),
+        ("error-hygiene", 2),
+    ];
+    for (id, count) in expected {
+        let findings = analyze_snippet("fixture.rs", &fixture(id, "fire.rs"));
+        assert_eq!(
+            findings.len(),
+            count,
+            "{id}/fire.rs findings: {findings:#?}"
+        );
+        for f in &findings {
+            assert_eq!(f.lint, id, "{id}/fire.rs cross-fired: {f}");
+            assert!(f.line > 0, "{id}/fire.rs finding without a line: {f}");
+            assert!(!f.hint.is_empty(), "{id}/fire.rs finding without a hint");
+            assert!(
+                !f.snippet.is_empty(),
+                "{id}/fire.rs finding without a snippet"
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    for lint in LINTS {
+        let findings = analyze_snippet("fixture.rs", &fixture(lint.id, "clean.rs"));
+        assert!(
+            findings.is_empty(),
+            "{}/clean.rs is not clean: {findings:#?}",
+            lint.id
+        );
+    }
+}
+
+/// Diagnostics render as `file:line: [lint] message` with snippet + fix hint,
+/// so a finding is directly actionable from the CI log.
+#[test]
+fn diagnostics_carry_location_rule_and_hint() {
+    let findings = analyze_snippet("fixture.rs", &fixture("panic-free", "fire.rs"));
+    let rendered = findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        rendered.contains("fixture.rs:5: [panic-free]"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("fix: "), "{rendered}");
+}

@@ -1,0 +1,102 @@
+//! Totality sweep: the lexer, the lints and the policy parser must never
+//! panic, whatever bytes they are fed — truncated sources, truncated policy
+//! files, or outright garbage.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use repro_analyze::lexer::lex;
+use repro_analyze::{analyze_snippet, Config, LINTS};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Lexes and analyzes `text` cut at every char boundary in `step`-byte
+/// strides (stride 1 = every prefix), asserting the lexer round-trips
+/// verbatim at each cut.
+fn sweep_prefixes(name: &str, text: &str, step: usize) {
+    let mut next = 0;
+    for end in 0..=text.len() {
+        if end < next || !text.is_char_boundary(end) {
+            continue;
+        }
+        next = end + step;
+        let cut = &text[..end];
+        let round_trip: String = lex(cut).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            round_trip, cut,
+            "{name}: lexer round-trip broke at byte {end}"
+        );
+        let _ = analyze_snippet("trunc.rs", cut);
+    }
+}
+
+/// Every fixture, cut at every byte: truncation mid-string, mid-comment,
+/// mid-attribute, mid-token — none of it may panic.
+#[test]
+fn truncated_fixtures_never_panic() {
+    for lint in LINTS {
+        for name in ["fire.rs", "clean.rs"] {
+            let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("fixtures")
+                .join(lint.id)
+                .join(name);
+            let text = fs::read_to_string(&path).expect("fixture");
+            sweep_prefixes(&format!("{}/{name}", lint.id), &text, 1);
+        }
+    }
+}
+
+/// Real workspace sources (the gnarliest inputs we have), strided so the
+/// sweep stays fast in debug builds.
+#[test]
+fn truncated_real_sources_never_panic() {
+    let root = workspace_root();
+    for rel in [
+        "crates/pmem/src/checkpoint.rs",
+        "crates/stream/src/exec.rs",
+        "crates/analyzer/src/lexer.rs",
+    ] {
+        let text = fs::read_to_string(root.join(rel)).expect("workspace source");
+        sweep_prefixes(rel, &text, 251);
+    }
+}
+
+/// The policy parser is total too: every prefix of the real analyzer.toml
+/// parses to Ok or a structured error, never a panic.
+#[test]
+fn truncated_policy_never_panics() {
+    let text = fs::read_to_string(workspace_root().join("analyzer.toml")).expect("analyzer.toml");
+    for end in 0..=text.len() {
+        if !text.is_char_boundary(end) {
+            continue;
+        }
+        let _ = Config::from_toml(&text[..end]);
+    }
+}
+
+/// Deterministic LCG garbage — printable ASCII, brackets, quotes and
+/// multibyte chars — through the lexer, the lints and the policy parser.
+#[test]
+fn garbage_never_panics() {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    let alphabet: Vec<char> = ('!'..='~').chain("\n\t \"'`[]{}()§λ∎".chars()).collect();
+    for round in 0..64 {
+        let len = 1 + (next() as usize % 400);
+        let text: String = (0..len)
+            // in-bounds check is moot here: the modulus bounds the index.
+            .map(|_| alphabet[next() as usize % alphabet.len()])
+            .collect();
+        let round_trip: String = lex(&text).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(round_trip, text, "round {round}: lexer round-trip broke");
+        let _ = analyze_snippet("garbage.rs", &text);
+        let _ = Config::from_toml(&text);
+    }
+}

@@ -1,0 +1,60 @@
+//! The workspace ships clean under its own policy: this is the same check CI
+//! runs (`cargo run -p repro-analyze -- check`), as a plain test so a plain
+//! `cargo test` catches a regression before the static-analysis job does.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use repro_analyze::{analyze_workspace, Config, LINTS};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_is_clean_under_its_own_policy() {
+    let root = workspace_root();
+    let toml = fs::read_to_string(root.join("analyzer.toml")).expect("analyzer.toml at repo root");
+    let cfg = Config::from_toml(&toml).expect("analyzer.toml parses");
+    let report = analyze_workspace(&root, &cfg).expect("workspace scan succeeds");
+
+    assert!(
+        report.files_scanned >= 40,
+        "suspiciously small scan ({} files) — did a scan root move?",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "the tree has unwaived findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale [[allow]] entries: {:?}",
+        report.stale_allows
+    );
+    assert!(report.is_clean());
+
+    // Every waiver that matched carries its mandatory justification.
+    for f in &report.waived {
+        let j = f.waived.as_deref().unwrap_or_default();
+        assert!(
+            j.trim().len() >= 20,
+            "waiver without a real justification: {f}"
+        );
+    }
+
+    // The committed ANALYSIS.json is the one this tree produces.
+    let lints: Vec<(&str, &str)> = LINTS.iter().map(|l| (l.id, l.description)).collect();
+    let committed = fs::read_to_string(root.join("ANALYSIS.json")).expect("ANALYSIS.json at root");
+    assert_eq!(
+        committed,
+        report.to_json(&lints),
+        "ANALYSIS.json is stale — rerun `cargo run -p repro-analyze -- check`"
+    );
+}

@@ -5,6 +5,8 @@
 //! captured into `bench_output.txt`) and then times the generation itself so
 //! `cargo bench` gives the usual statistical output.
 
+#![forbid(unsafe_code)]
+
 use stream_bench::Kernel;
 use streamer::figures::FigureData;
 use streamer::groups::TestGroup;

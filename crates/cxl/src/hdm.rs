@@ -257,10 +257,13 @@ impl InterleaveSet {
         }
         let offset = hpa - self.hpa_base;
         let way = ((offset / self.granularity) % self.ways as u64) as u8;
+        // The owning way's range contains `hpa` by construction of `way`;
+        // the decode path claims never to panic, so a breach of that
+        // invariant surfaces as the typed miss it would be.
         let dpa = self
             .way_range(way)?
             .translate(hpa)
-            .expect("owning way translates its own block");
+            .ok_or(CxlError::AddressNotMapped(hpa))?;
         Ok((way, dpa))
     }
 }

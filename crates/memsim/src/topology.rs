@@ -265,6 +265,11 @@ pub enum TopologyError {
     Numa(NumaError),
     /// The machine layer rejected the compiled description.
     Sim(SimError),
+    /// An invariant of the compiler itself was violated — cross-validation
+    /// above should make this unreachable, but the compile path claims never
+    /// to panic, so the claim is surfaced as a typed error instead of an
+    /// `expect`.
+    Internal(&'static str),
 }
 
 impl fmt::Display for TopologyError {
@@ -336,6 +341,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::Numa(e) => write!(f, "topology rejected: {e}"),
             TopologyError::Sim(e) => write!(f, "machine rejected: {e}"),
+            TopologyError::Internal(what) => {
+                write!(f, "internal compiler invariant violated: {what}")
+            }
         }
     }
 }
@@ -1156,15 +1164,27 @@ impl TopologyDescription {
         }
 
         // Build the NUMA topology (nodes in id order, then sockets, then SLIT).
+        // Node ids were validated dense above, and every window declaration
+        // was compiled above, so both lookups are infallible by construction;
+        // the compile path claims never to panic, so the claims are typed
+        // errors, not `expect`s.
+        let backing_of = |node: usize| {
+            node_backing
+                .get(&node)
+                .ok_or(TopologyError::Internal("node ids validated dense above"))
+        };
+        let window_of = |w: &WindowDecl| {
+            compiled_windows
+                .iter()
+                .find(|c| c.node == w.node)
+                .ok_or(TopologyError::Internal("window was compiled above"))
+        };
         let mut builder = Topology::builder(&self.name).smt(self.smt);
         for node in 0..node_count {
-            builder = match &node_backing[&node] {
+            builder = match backing_of(node)? {
                 Backing::Memory(m) => builder.node(m.bytes, &m.label),
                 Backing::Window(w) => {
-                    let compiled = compiled_windows
-                        .iter()
-                        .find(|c| c.node == w.node)
-                        .expect("window was compiled above");
+                    let compiled = window_of(w)?;
                     builder.node(compiled.total_bytes(), &w.label)
                 }
             };
@@ -1214,28 +1234,35 @@ impl TopologyDescription {
         // (socket, node) pair. Windows synthesise an aggregate device.
         let mut machine = Machine::builder(topology).core_mlp(self.core_mlp);
         for node in 0..node_count {
-            let spec = match &node_backing[&node] {
-                Backing::Memory(_) => node_device[&node].to_spec(),
+            let spec = match backing_of(node)? {
+                Backing::Memory(_) => node_device
+                    .get(&node)
+                    .ok_or(TopologyError::Internal("memory nodes have devices above"))?
+                    .to_spec(),
                 Backing::Window(w) => {
-                    let compiled = compiled_windows
-                        .iter()
-                        .find(|c| c.node == w.node)
-                        .expect("window was compiled above");
-                    aggregate_window_device(w, compiled, &device_by_name)
+                    let compiled = window_of(w)?;
+                    aggregate_window_device(w, compiled, &device_by_name)?
                 }
             };
             machine = machine.device(node, spec);
         }
-        for socket in 0..socket_count {
-            let local_node = self.processors[socket].node;
+        for (socket, p) in self.processors.iter().enumerate() {
+            let local_node = p.node;
             for node in 0..node_count {
                 let path = match path_decls.get(&(socket, node)) {
-                    Some(decl) => Path::through(
-                        decl.links
+                    Some(decl) => {
+                        let specs = decl
+                            .links
                             .iter()
-                            .map(|name| link_by_name[name.as_str()].to_spec())
-                            .collect(),
-                    ),
+                            .map(|name| {
+                                link_by_name
+                                    .get(name.as_str())
+                                    .map(|link| link.to_spec())
+                                    .ok_or(TopologyError::Internal("path links validated above"))
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Path::through(specs)
+                    }
                     None if node == local_node => Path::direct(),
                     None => return Err(TopologyError::MissingPath { socket, node }),
                 };
@@ -1253,23 +1280,28 @@ impl TopologyDescription {
 
 /// Synthesises the aggregate [`DeviceSpec`] a CFMWS window surfaces: summed
 /// bandwidth/capacity/channels across the ways, worst-case idle latency.
+/// Every way name was resolved during window compilation, so the lookup only
+/// fails on an internal invariant breach — typed, because this is the
+/// never-panics compile path.
 fn aggregate_window_device(
     window: &WindowDecl,
     compiled: &CompiledWindow,
     devices: &HashMap<&str, &DeviceDecl>,
-) -> DeviceSpec {
+) -> Result<DeviceSpec, TopologyError> {
     let mut read = 0.0f64;
     let mut write = 0.0f64;
     let mut latency = 0.0f64;
     let mut channels = 0u32;
     for name in &compiled.way_names {
-        let d = devices[name.as_str()];
+        let d = devices
+            .get(name.as_str())
+            .ok_or(TopologyError::Internal("window ways resolved above"))?;
         read += d.read_gbs;
         write += d.write_gbs;
         latency = latency.max(d.latency_ns);
         channels += d.channels;
     }
-    DeviceSpec {
+    Ok(DeviceSpec {
         name: format!("{} ({}-way interleave)", window.name, compiled.ways()),
         kind: DeviceKind::CxlExpanderDram,
         read_bw_gbs: read,
@@ -1277,7 +1309,7 @@ fn aggregate_window_device(
         idle_latency_ns: latency,
         capacity_bytes: compiled.total_bytes(),
         channels: channels.max(1),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1333,6 +1365,8 @@ fn strip_comment(line: &str) -> &str {
     for (index, c) in line.char_indices() {
         match c {
             '"' => in_quotes = !in_quotes,
+            // in-bounds: `index` comes from `char_indices` of this very
+            // string, and `#` is ASCII, so it is a char boundary in the line.
             '#' if !in_quotes => return &line[..index],
             _ => {}
         }

@@ -182,6 +182,7 @@ impl<T: PmemScalar> Checkpointable for Vec<T> {
     fn snapshot(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.len() * T::SIZE];
         for (i, value) in self.iter().enumerate() {
+            // in-bounds: i < self.len() and out holds self.len() * SIZE bytes.
             value.write_le(&mut out[i * T::SIZE..]);
         }
         out
@@ -245,6 +246,7 @@ impl SlotHeader {
     fn from_bytes(bytes: &[u8]) -> Option<SlotHeader> {
         let read = |at: usize| {
             let mut buf = [0u8; 8];
+            // in-bounds: at ∈ {0, 8, 16, 24}; callers pass SLOT_HEADER_LEN bytes.
             buf.copy_from_slice(&bytes[at..at + 8]);
             u64::from_le_bytes(buf)
         };
@@ -377,6 +379,7 @@ impl<'p> CheckpointRegion<'p> {
         pool.read(base, &mut desc)?;
         let read = |at: usize| {
             let mut buf = [0u8; 8];
+            // in-bounds: at ∈ {0, 16, 24, 32} and desc is DESC_SIZE = 64 bytes.
             buf.copy_from_slice(&desc[at..at + 8]);
             u64::from_le_bytes(buf)
         };
@@ -409,17 +412,20 @@ impl<'p> CheckpointRegion<'p> {
         for (slot, valid) in valid_epoch.iter_mut().enumerate() {
             if let Some((header, chunk_hashes)) = region.validate_slot(slot)? {
                 *valid = Some(header.epoch);
+                // in-bounds: slot enumerates the two-element hashes array.
                 region.hashes[slot] = chunk_hashes.into_iter().map(Some).collect();
             }
         }
         if committed > 0 {
             let slot = Self::slot_for(committed);
+            // in-bounds: slot_for returns epoch % 2, valid_epoch has two slots.
             if valid_epoch[slot] != Some(committed) {
                 // The protocol never lets the committed slot tear (its bytes
                 // are drained before the commit record); this path handles
                 // external corruption by falling back to the other valid slot
                 // and repairing the descriptor.
                 let other = 1 - slot;
+                // in-bounds: other ∈ {0, 1} because slot is.
                 match valid_epoch[other] {
                     Some(epoch) if epoch < committed => {
                         region
@@ -534,6 +540,7 @@ impl<'p> CheckpointRegion<'p> {
 
     fn chunk_hashes_of(&self, data: &[u8]) -> Vec<u64> {
         (0..self.chunk_count)
+            // in-bounds: chunk_range is clamped to data_len == data.len().
             .map(|i| fnv1a(&data[self.chunk_range(i)]))
             .collect()
     }
@@ -587,11 +594,13 @@ impl<'p> CheckpointRegion<'p> {
         // Dirty set: chunks whose content differs from what the slot holds.
         let new_hashes = self.chunk_hashes_of(data);
         let dirty: Vec<usize> = (0..self.chunk_count)
+            // in-bounds: slot ∈ {0, 1}; both hash vecs hold chunk_count slots.
             .filter(|&i| self.hashes[slot][i] != Some(new_hashes[i]))
             .collect();
         // Pessimise the cache up front: if we crash mid-write the slot's
         // dirty chunks are in an unknown state.
         for &i in &dirty {
+            // in-bounds: dirty indexes were drawn from 0..chunk_count above.
             self.hashes[slot][i] = None;
         }
 
@@ -608,9 +617,11 @@ impl<'p> CheckpointRegion<'p> {
             if crash_at_chunk == Some(j) {
                 return Err(PmemError::InjectedCrash("checkpoint-chunk-flush"));
             }
+            // in-bounds: run_chunks invokes j ∈ 0..dirty.len() by contract.
             let i = dirty[j];
             let range = self.chunk_range(i);
             let off = self.data_off(slot, i);
+            // in-bounds: chunk_range is clamped to data_len == data.len().
             self.pool.write(off, &data[range.clone()])?;
             self.pool.flush(off, range.len() as u64)
         })?;
@@ -668,6 +679,7 @@ impl<'p> CheckpointRegion<'p> {
         match result {
             Ok(()) => {
                 self.committed = epoch;
+                // in-bounds: slot_for keeps slot ∈ {0, 1}.
                 self.hashes[slot] = new_hashes.into_iter().map(Some).collect();
                 Ok(CheckpointStats {
                     epoch,

@@ -34,6 +34,8 @@
 //! assert!(point.bandwidth_gbs > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use cxl;
 pub use cxl_pmem;
 pub use memsim;
