@@ -2,7 +2,7 @@
 //! the FPGA, more DDR channels, and upgraded controller headroom.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use cxl_pmem::{AccessMode, CxlPmemRuntime, RuntimeBuilder};
 use numa::AffinityPolicy;
 use std::hint::black_box;
 use stream_bench::{Kernel, SimulatedStream, StreamConfig};
@@ -20,18 +20,24 @@ fn saturated_cxl_bandwidth(runtime: &CxlPmemRuntime) -> f64 {
 
 fn ablation(c: &mut Criterion) {
     let variants: Vec<(&str, CxlPmemRuntime)> = vec![
-        ("baseline_ddr4_1333_x1", CxlPmemRuntime::setup1()),
+        ("baseline_ddr4_1333_x1", RuntimeBuilder::setup1().build()),
         (
             "ddr4_3200_x1",
-            CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 1), None),
+            RuntimeBuilder::new()
+                .machine(memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 1))
+                .build(),
         ),
         (
             "ddr4_3200_x4",
-            CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 4), None),
+            RuntimeBuilder::new()
+                .machine(memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 4))
+                .build(),
         ),
         (
             "ddr5_5600_x4",
-            CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4), None),
+            RuntimeBuilder::new()
+                .machine(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4))
+                .build(),
         ),
     ];
     println!("Ablation: saturated CXL Memory-Mode Triad bandwidth (GB/s)");

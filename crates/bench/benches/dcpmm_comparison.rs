@@ -2,7 +2,7 @@
 //! bandwidth and vs local DDR4/DDR5.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use cxl_pmem::{AccessMode, RuntimeBuilder};
 use numa::AffinityPolicy;
 use std::hint::black_box;
 use stream_bench::{Kernel, SimulatedStream, StreamConfig};
@@ -14,8 +14,8 @@ fn dcpmm_comparison(c: &mut Criterion) {
         headline_table().expect("headline table").to_markdown()
     );
 
-    let cxl_runtime = CxlPmemRuntime::setup1();
-    let dcpmm_runtime = CxlPmemRuntime::dcpmm_baseline();
+    let cxl_runtime = RuntimeBuilder::setup1().build();
+    let dcpmm_runtime = RuntimeBuilder::dcpmm_baseline().build();
     let mut group = c.benchmark_group("dcpmm_comparison");
     group.sample_size(10);
     for (name, runtime) in [("cxl_ddr4", &cxl_runtime), ("dcpmm", &dcpmm_runtime)] {

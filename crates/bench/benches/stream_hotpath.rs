@@ -6,7 +6,7 @@
 //! repository root so regressions are diffable.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use cxl_pmem::{AccessMode, CxlPmemRuntime, RuntimeBuilder};
 use numa::{AffinityPolicy, PinnedPool, ThreadPlacement, WorkerCtx};
 use parking_lot::RwLock;
 use std::hint::black_box;
@@ -292,7 +292,7 @@ fn stream_hotpath(c: &mut Criterion) {
 
     // Grid timings on one long-lived runtime — the shape the harness uses
     // (figures, tables and analysis all sweep the same engine repeatedly).
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let stream = SimulatedStream::paper(&runtime);
     let grid_placements = placements(&runtime, 10);
     let naive_s = (0..NTIMES)

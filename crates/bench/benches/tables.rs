@@ -2,12 +2,12 @@
 //! comparison.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cxl_pmem::CxlPmemRuntime;
+use cxl_pmem::RuntimeBuilder;
 use std::hint::black_box;
 use streamer::{table1, table2};
 
 fn tables(c: &mut Criterion) {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     println!("{}", table1(&runtime).expect("table 1").to_markdown());
     println!("{}", table2().expect("table 2").to_markdown());
     let mut group = c.benchmark_group("tables");

@@ -18,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cxl_pmem::tiering::{AccessTracker, TierAssignment, TieredRegion};
-use cxl_pmem::{CxlPmemRuntime, PooledChunkExecutor, TierPolicy};
+use cxl_pmem::{CxlPmemRuntime, PooledChunkExecutor, RuntimeBuilder, TierPolicy};
 use numa::{AffinityPolicy, PinnedPool};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -111,7 +111,7 @@ fn tiering_hotpath(c: &mut Criterion) {
     );
 
     // --- functional migration throughput over the resident pool ------------
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let workers = runtime
         .worker_pool_for(&AffinityPolicy::close(), THREADS)
         .expect("workers");

@@ -48,14 +48,31 @@
 //! region's Global-Persistent-Flush path, so a torn commit is still
 //! recoverable (the undo log rolls it back on the next open) even though it
 //! was never published.
+//!
+//! # Object segments
+//!
+//! Checkpoint segments move one bulk snapshot at a time; **object segments**
+//! put a [`pmem::ObjectStore`] inside the shared window instead — millions of
+//! small epoch-versioned objects with per-object commit records over the same
+//! undo log. [`ClusterHost::create_store`] / [`ClusterHost::open_store`]
+//! return a [`HostStore`] whose `get`/`put`/`commit`/`delete` enforce exactly
+//! the discipline above (a directory mutation ends in `publish`; a read on a
+//! stale or never-published host is a typed refusal), and whose `*_classed`
+//! variants route each op through the fleet's QoS admission front door.
 
 // Re-exported so harnesses driving the cluster (the streamer scenarios, the
 // examples) need only a `cxl-pmem` dependency.
 pub use cxl::CoherenceMode;
-pub use pmem::{CheckpointCrash, CheckpointPhase, CheckpointStats, CrashPoint, SerialExecutor};
+pub use pmem::{
+    CheckpointCrash, CheckpointPhase, CheckpointStats, CrashPoint, ObjectCrash, ObjectPhase,
+    SerialExecutor, StoreCheck,
+};
 
+use crate::admission::{AdmissionController, QosClass};
 use cxl::{CxlError, CxlSwitch, HostId, PoolAllocation, PortId, SharedRegion, Type3Device};
-use pmem::{CheckpointRegion, ChunkExecutor, PmemError, PmemPool, SharedRegionBackend};
+use pmem::{
+    CheckpointRegion, ChunkExecutor, ObjectStore, PmemError, PmemPool, SharedRegionBackend,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -381,6 +398,90 @@ impl ClusterHost {
             region: None,
         })
     }
+
+    /// Carves a new shared segment holding a versioned [`pmem::ObjectStore`]
+    /// for up to `capacity` objects of at most `value_len` bytes each,
+    /// formats the pool + store inside it, and returns this host's handle.
+    pub fn create_store(
+        &self,
+        name: impl Into<String>,
+        capacity: u64,
+        value_len: u64,
+    ) -> ClusterResult<HostStore> {
+        let name = name.into();
+        let size = ObjectStore::required_pool_size(capacity, value_len);
+        // Same carve-first / publish-the-name-last dance as `create_segment`:
+        // the map only learns the name once the store is fully formatted.
+        let segment = {
+            let segments = self.shared.segments();
+            if segments.contains_key(&name) {
+                return Err(ClusterError::SegmentExists(name));
+            }
+            let switch = &self.shared.switch;
+            let allocation = switch.allocate(self.host, size)?;
+            let region = Arc::new(switch.shared_region(&allocation, self.shared.mode)?);
+            Arc::new(Segment {
+                name: name.clone(),
+                allocation,
+                region,
+                data_len: ObjectStore::region_size(capacity, value_len),
+            })
+        };
+        let formatted = (|| -> ClusterResult<ObjectStore<'static>> {
+            let backend = SharedRegionBackend::new(Arc::clone(&segment.region), self.host);
+            let pool = Arc::new(PmemPool::create_with_backend(
+                Arc::new(backend),
+                &segment.name,
+            )?);
+            let store = ObjectStore::format(&pool, capacity, value_len)?;
+            pool.set_root(store.oid(), segment.data_len)?;
+            drop(store);
+            Ok(ObjectStore::open_root_shared(pool)?)
+        })();
+        let error = match formatted {
+            Ok(store) => {
+                let mut segments = self.shared.segments();
+                match segments.entry(name) {
+                    std::collections::hash_map::Entry::Occupied(taken) => {
+                        ClusterError::SegmentExists(taken.key().clone())
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(Arc::clone(&segment));
+                        drop(segments);
+                        return Ok(HostStore {
+                            host: self.host,
+                            segment,
+                            store: Some(store),
+                            front_door: None,
+                        });
+                    }
+                }
+            }
+            Err(e) => e,
+        };
+        // A failed (or name-raced) format must not leak the carved capacity.
+        let _ = self.shared.switch.release(segment.allocation.id);
+        Err(error)
+    }
+
+    /// Attaches this host to an existing object segment. The pool inside is
+    /// opened lazily — on the first object op — so undo-log recovery runs on
+    /// the host that actually takes over.
+    pub fn open_store(&self, name: &str) -> ClusterResult<HostStore> {
+        let segment = self
+            .shared
+            .segments()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ClusterError::UnknownSegment(name.to_string()))?;
+        segment.region.attach(self.host);
+        Ok(HostStore {
+            host: self.host,
+            segment,
+            store: None,
+            front_door: None,
+        })
+    }
 }
 
 /// One host's attachment to one shared segment: checkpoint in, restore out,
@@ -565,6 +666,283 @@ impl HostSegment {
         self.check_coherence()?;
         let ckpt = self.ensure_region()?;
         Ok(ckpt.committed_epoch())
+    }
+}
+
+/// One host's attachment to one shared **object segment**: KV-style
+/// get/put/commit/delete over a [`pmem::ObjectStore`] in the shared window,
+/// with the module's coherence discipline enforced per directory mutation and
+/// optional QoS admission classing per op (see the [module docs](self)).
+///
+/// Dropping the handle models the host being torn down — the store's bytes
+/// stay on the pooled devices, and any other host can `open_store` and take
+/// over (undo-log recovery rolls back a commit the dead host tore).
+pub struct HostStore {
+    host: HostId,
+    segment: Arc<Segment>,
+    /// The opened store (shared ownership of its pool). `None` until first
+    /// use, and reset when a commit dies so the next use reopens + recovers.
+    store: Option<ObjectStore<'static>>,
+    /// Optional QoS front door the `*_classed` ops submit through.
+    front_door: Option<Arc<AdmissionController>>,
+}
+
+impl fmt::Debug for HostStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostStore")
+            .field("host", &self.host)
+            .field("segment", &self.segment.name)
+            .field("pool_open", &self.store.is_some())
+            .field("front_door", &self.front_door.is_some())
+            .finish()
+    }
+}
+
+impl HostStore {
+    /// The segment's name.
+    pub fn name(&self) -> &str {
+        &self.segment.name
+    }
+
+    /// The host this handle acts as.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The shared window the store lives in (stats, protocol state).
+    pub fn region(&self) -> Arc<SharedRegion> {
+        Arc::clone(&self.segment.region)
+    }
+
+    /// Routes this handle's `*_classed` ops through a QoS admission front
+    /// door (typically the fleet's shared [`AdmissionController`]).
+    pub fn set_front_door(&mut self, controller: Arc<AdmissionController>) {
+        self.front_door = Some(controller);
+    }
+
+    /// The attached front door, if any.
+    pub fn front_door(&self) -> Option<&Arc<AdmissionController>> {
+        self.front_door.as_ref()
+    }
+
+    fn ensure_store(&mut self) -> pmem::Result<&mut ObjectStore<'static>> {
+        if self.store.is_none() {
+            let backend = SharedRegionBackend::new(Arc::clone(&self.segment.region), self.host);
+            // Opening runs pool recovery: a commit record torn by the
+            // previous owner's crash is rolled back before any read.
+            let pool = Arc::new(PmemPool::open_with_backend(
+                Arc::new(backend),
+                &self.segment.name,
+            )?);
+            self.store = Some(ObjectStore::open_root_shared(pool)?);
+        }
+        Ok(self.store.as_mut().expect("store just ensured"))
+    }
+
+    /// Enforces the write-side coherence discipline: extending an object's
+    /// version chain means reading the committed directory state, so a host
+    /// whose view is stale must acquire first.
+    fn check_writer(&self) -> ClusterResult<()> {
+        if self.segment.region.mode() == CoherenceMode::SoftwareManaged
+            && self.segment.region.version() > 0
+            && !self.segment.region.is_up_to_date(self.host)
+        {
+            return Err(ClusterError::NotAcquired {
+                host: self.host,
+                segment: self.segment.name.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Enforces the read-side coherence discipline (same rules as
+    /// checkpoint segments).
+    fn check_coherence(&self) -> ClusterResult<()> {
+        if self.segment.region.mode() != CoherenceMode::SoftwareManaged {
+            return Ok(());
+        }
+        if self.segment.region.version() == 0 {
+            return Err(ClusterError::NeverPublished {
+                segment: self.segment.name.clone(),
+            });
+        }
+        if !self.segment.region.is_up_to_date(self.host) {
+            return Err(ClusterError::NotAcquired {
+                host: self.host,
+                segment: self.segment.name.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Submits `bytes` of `class` traffic to the front door (when one is
+    /// attached) at virtual time `now`. Refusals surface as
+    /// [`ClusterError::Admission`]; queued work proceeds (its latency is the
+    /// scenario harness's accounting), and due grants are drained.
+    fn admit(&self, class: QosClass, bytes: u64, now: f64) -> ClusterResult<()> {
+        if let Some(door) = &self.front_door {
+            door.submit(class, bytes.max(1), now)?;
+            // Drain grants whose time has come; permits are admission-side
+            // bookkeeping, the op itself executes below either way.
+            let _ = door.poll(now);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ write side
+
+    /// Stages a new version of object `id` (invisible until
+    /// [`commit`](Self::commit)). Writers are bound by the coherence
+    /// discipline: a stale view is a typed refusal.
+    pub fn put(&mut self, id: u64, value: &[u8]) -> ClusterResult<()> {
+        self.check_writer()?;
+        let store = self.ensure_store()?;
+        Ok(store.put(id, value)?)
+    }
+
+    /// A staging write with a crash armed at `crash` — the torn-payload half
+    /// of the object crash matrix. The slot write dies mid-copy, nothing is
+    /// committed or published, and the handle forgets its pool (the host
+    /// "died"); the committed version stays untouched for every other host.
+    pub fn put_crashing(&mut self, id: u64, value: &[u8], crash: ObjectCrash) -> ClusterResult<()> {
+        self.check_writer()?;
+        let outcome = {
+            let store = self.ensure_store()?;
+            store.set_crash(Some(crash));
+            store.put(id, value)
+        };
+        match outcome {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.store = None;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Commits the staged version of object `id`, **publishes** the segment
+    /// (the coherence contract: a directory mutation ends in a publish), and
+    /// returns the object's new epoch.
+    pub fn commit(&mut self, id: u64) -> ClusterResult<u64> {
+        self.commit_inner(id, None)
+    }
+
+    /// A commit attempt with a crash armed at `crash` — the object
+    /// crash-matrix suites' injection point. The commit fails with an
+    /// injected-crash error, nothing is published, and the handle forgets
+    /// its pool (the host "died").
+    pub fn commit_crashing(&mut self, id: u64, crash: ObjectCrash) -> ClusterResult<u64> {
+        self.commit_inner(id, Some(crash))
+    }
+
+    fn commit_inner(&mut self, id: u64, crash: Option<ObjectCrash>) -> ClusterResult<u64> {
+        self.check_writer()?;
+        let outcome = {
+            let store = self.ensure_store()?;
+            store.set_crash(crash);
+            store.commit(id)
+        };
+        match outcome {
+            Ok(epoch) => {
+                self.segment.region.publish(self.host)?;
+                Ok(epoch)
+            }
+            Err(e) => {
+                // The attempt died mid-commit: drop the store + pool handle
+                // so the next use — on this host or any other — reopens and
+                // recovers. No publish.
+                self.store = None;
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Stages and commits `value` as the next version of object `id`.
+    pub fn put_commit(&mut self, id: u64, value: &[u8]) -> ClusterResult<u64> {
+        self.put(id, value)?;
+        self.commit(id)
+    }
+
+    /// Deletes object `id` (undo-logged) and publishes the segment.
+    pub fn delete(&mut self, id: u64) -> ClusterResult<()> {
+        self.check_writer()?;
+        let outcome = {
+            let store = self.ensure_store()?;
+            store.delete(id)
+        };
+        match outcome {
+            Ok(()) => {
+                self.segment.region.publish(self.host)?;
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    // ------------------------------------------------------------- read side
+
+    /// Acquires the latest publication of the segment — the reader half of
+    /// the software-coherence protocol.
+    pub fn acquire(&mut self) -> ClusterResult<u64> {
+        self.segment.region.acquire(self.host).map_err(Into::into)
+    }
+
+    /// Reads the committed version of object `id`. Discipline first: a
+    /// never-published store or a stale view is a typed refusal, and the
+    /// store itself validates the entry checksum + payload hash — the caller
+    /// gets the exact committed bytes or an error, never a torn mix.
+    pub fn get(&mut self, id: u64) -> ClusterResult<Vec<u8>> {
+        self.check_coherence()?;
+        let store = self.ensure_store()?;
+        Ok(store.get(id)?)
+    }
+
+    /// The committed epoch of object `id` (discipline enforced).
+    pub fn committed_version(&mut self, id: u64) -> ClusterResult<u64> {
+        self.check_coherence()?;
+        let store = self.ensure_store()?;
+        Ok(store.committed_version(id)?)
+    }
+
+    /// Number of objects currently holding a committed version.
+    pub fn live(&mut self) -> ClusterResult<u64> {
+        self.check_coherence()?;
+        let store = self.ensure_store()?;
+        Ok(store.live())
+    }
+
+    /// Full-directory audit (see [`pmem::ObjectStore::verify`]).
+    pub fn verify(&mut self) -> ClusterResult<StoreCheck> {
+        self.check_coherence()?;
+        let store = self.ensure_store()?;
+        Ok(store.verify()?)
+    }
+
+    // --------------------------------------------------------- classed traffic
+
+    /// [`put`](Self::put) through the QoS front door: `value.len()` bytes of
+    /// [`QosClass::Checkpoint`] (write-class) traffic at virtual time `now`.
+    pub fn put_classed(&mut self, id: u64, value: &[u8], now: f64) -> ClusterResult<()> {
+        self.admit(QosClass::Checkpoint, value.len() as u64, now)?;
+        self.put(id, value)
+    }
+
+    /// [`commit`](Self::commit) through the QoS front door: the commit
+    /// record itself is directory-entry sized.
+    pub fn commit_classed(&mut self, id: u64, now: f64) -> ClusterResult<u64> {
+        self.admit(QosClass::Checkpoint, 64, now)?;
+        self.commit(id)
+    }
+
+    /// [`get`](Self::get) through the QoS front door: one slot's worth of
+    /// [`QosClass::Restore`] (read-class) traffic at virtual time `now`.
+    pub fn get_classed(&mut self, id: u64, now: f64) -> ClusterResult<Vec<u8>> {
+        let bytes = {
+            let store = self.ensure_store()?;
+            store.value_len()
+        };
+        self.admit(QosClass::Restore, bytes, now)?;
+        self.get(id)
     }
 }
 
@@ -783,6 +1161,133 @@ mod tests {
         assert!(cluster.release_segment("a").is_err());
         // The freed name can be recreated.
         host.create_segment("a", DATA, CHUNK).unwrap();
+    }
+
+    #[test]
+    fn object_store_cross_host_readers_and_writers() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_store("kv", 256, 128).unwrap();
+
+        // Writer host A: commit a first wave of objects.
+        for id in 0..16u64 {
+            let value = vec![id as u8 ^ 0x5A; 64];
+            assert_eq!(a.put_commit(id, &value).unwrap(), 1);
+        }
+
+        // Reader host B must acquire before it may read.
+        let mut b = cluster.host(1).open_store("kv").unwrap();
+        assert!(matches!(
+            b.get(0),
+            Err(ClusterError::NotAcquired { host: 1, .. })
+        ));
+        b.acquire().unwrap();
+        assert_eq!(b.get(3).unwrap(), vec![3u8 ^ 0x5A; 64]);
+        assert_eq!(b.committed_version(3).unwrap(), 1);
+        assert_eq!(b.live().unwrap(), 16);
+
+        // Host B takes the writer role (its view is current) and commits a
+        // second version; A is now stale and must re-acquire.
+        assert_eq!(b.put_commit(3, b"hello from host 1").unwrap(), 2);
+        assert!(matches!(
+            a.get(3),
+            Err(ClusterError::NotAcquired { host: 0, .. })
+        ));
+        assert!(matches!(
+            a.put(3, b"stale writer"),
+            Err(ClusterError::NotAcquired { host: 0, .. })
+        ));
+        a.acquire().unwrap();
+        assert_eq!(a.get(3).unwrap(), b"hello from host 1");
+        assert_eq!(a.verify().unwrap().live, 16);
+    }
+
+    #[test]
+    fn object_store_never_published_and_delete_discipline() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let creator = cluster.host(0).create_store("fresh", 32, 64).unwrap();
+        drop(creator);
+        // Nothing was ever committed (= published); a reader has no rights.
+        let mut b = cluster.host(1).open_store("fresh").unwrap();
+        assert!(matches!(b.get(0), Err(ClusterError::NeverPublished { .. })));
+        // The creator (fresh view) may establish publication.
+        let mut a = cluster.host(0).open_store("fresh").unwrap();
+        a.put_commit(7, b"v1").unwrap();
+        a.delete(7).unwrap();
+        b.acquire().unwrap();
+        assert!(matches!(
+            b.get(7),
+            Err(ClusterError::Pmem(PmemError::NoSuchObject(7)))
+        ));
+        assert_eq!(b.live().unwrap(), 0);
+    }
+
+    #[test]
+    fn object_commit_crash_recovers_bit_exact_on_the_other_host() {
+        for point in CrashPoint::ALL {
+            let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+            let mut a = cluster.host(0).create_store("torn", 64, 96).unwrap();
+            let committed = vec![0xC3u8; 80];
+            a.put_commit(9, &committed).unwrap();
+            a.put(9, &[0x11u8; 80]).unwrap();
+            let outcome = a.commit_crashing(
+                9,
+                ObjectCrash {
+                    phase: ObjectPhase::EntryCommit,
+                    point,
+                },
+            );
+            drop(a); // host A torn down
+
+            let mut b = cluster.host(1).open_store("torn").unwrap();
+            b.acquire().unwrap();
+            let bytes = b.get(9).unwrap();
+            match outcome {
+                // DuringRecovery never fires inside a transaction.
+                Ok(epoch) => assert_eq!(epoch, 2),
+                Err(e) => assert!(e.is_injected_crash()),
+            }
+            // Either the old or the new version, never a torn mix — and the
+            // full-directory audit must hold after recovery.
+            assert!(bytes == committed || bytes == vec![0x11u8; 80], "{point:?}");
+            b.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn classed_ops_route_through_the_front_door() {
+        use crate::admission::{AdmissionError, ClassConfig};
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_store("qos", 64, 128).unwrap();
+        // A tiny write budget with no queue: the second put must be refused
+        // with the typed admission error, and the refusal precedes the op.
+        let door = Arc::new(AdmissionController::new([
+            ClassConfig {
+                rate_bytes_per_sec: 64.0,
+                burst_bytes: 128,
+                queue_depth: 0,
+            },
+            ClassConfig {
+                rate_bytes_per_sec: 1e9,
+                burst_bytes: 1 << 20,
+                queue_depth: 4,
+            },
+            ClassConfig::closed(),
+        ]));
+        a.set_front_door(Arc::clone(&door));
+        a.put_classed(0, &[7u8; 128], 0.0).unwrap();
+        // One virtual second refills 64 bytes — enough for the entry-sized
+        // commit record, not for another full put.
+        a.commit_classed(0, 1.0).unwrap();
+        let err = a.put_classed(1, &[8u8; 128], 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::Admission(AdmissionError::QueueFull { .. })
+        ));
+        assert!(matches!(
+            a.get_classed(50, 1.1),
+            Err(ClusterError::Pmem(PmemError::NoSuchObject(50)))
+        ));
+        assert_eq!(a.get_classed(0, 1.2).unwrap(), vec![7u8; 128]);
     }
 
     #[test]

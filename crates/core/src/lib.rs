@@ -17,9 +17,11 @@
 //!
 //! Entry points:
 //!
-//! * [`runtime::CxlPmemRuntime`] — construct with [`runtime::CxlPmemRuntime::setup1`]
-//!   (the paper's Sapphire Rapids + CXL machine), `setup2` (Xeon Gold DDR4) or
-//!   `dcpmm_baseline` (the published-Optane comparison machine). The runtime
+//! * [`runtime::CxlPmemRuntime`] — construct through [`runtime::RuntimeBuilder`]:
+//!   `RuntimeBuilder::setup1().build()` (the paper's Sapphire Rapids + CXL
+//!   machine), `setup2` (Xeon Gold DDR4), `dcpmm_baseline` (the
+//!   published-Optane comparison machine), or the `machine`/`from_description`/
+//!   `from_ingested` topology knobs. The runtime
 //!   also provisions and owns the resident [`numa::PinnedPool`] worker pools
 //!   ([`runtime::CxlPmemRuntime::worker_pool`]), so repeated STREAM
 //!   invocations share parked, logically pinned OS threads instead of
@@ -45,9 +47,9 @@
 //!
 //! ```
 //! use cxl_pmem::cluster::CoherenceMode;
-//! use cxl_pmem::CxlPmemRuntime;
+//! use cxl_pmem::RuntimeBuilder;
 //!
-//! let runtime = CxlPmemRuntime::setup1();
+//! let runtime = RuntimeBuilder::setup1().build();
 //! let cluster = runtime.disaggregated_cluster(2, CoherenceMode::SoftwareManaged);
 //!
 //! let state = vec![42u8; 64 * 1024];
@@ -93,11 +95,12 @@ pub use admission::{
     AdmissionController, AdmissionError, ClassConfig, Decision, Permit, QosClass, Ticket,
 };
 pub use backend::CxlDeviceBackend;
-pub use cluster::{ClusterError, ClusterHost, DisaggregatedCluster, HostSegment};
+pub use cluster::{ClusterError, ClusterHost, DisaggregatedCluster, HostSegment, HostStore};
 pub use modes::{AccessMode, ModeProperties};
 pub use placement::{ExpansionPlan, TierPolicy};
 pub use runtime::{
-    CxlPmemRuntime, InterleavedWindow, ManagedPool, PooledChunkExecutor, RuntimeError, SetupKind,
+    CxlPmemRuntime, InterleavedWindow, ManagedPool, PooledChunkExecutor, RuntimeBuilder,
+    RuntimeError, RuntimePreset, SetupKind,
 };
 pub use tiering::{
     assignment_bandwidth, AccessTracker, BandwidthAwarePolicy, ChunkHeat, HotGreedyPolicy,

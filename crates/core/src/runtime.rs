@@ -272,6 +272,223 @@ impl ChunkExecutor for PooledChunkExecutor<'_> {
     }
 }
 
+/// Which evaluation platform a [`RuntimeBuilder`] preset realises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimePreset {
+    /// Setup #1: Sapphire Rapids + DDR5 + CXL expander (Figure 2).
+    SapphireRapidsCxl,
+    /// Setup #2: Xeon Gold + DDR4, no CXL (Figure 3).
+    XeonGoldDdr4,
+    /// The DCPMM baseline machine used for the headline comparison.
+    SapphireRapidsDcpmm,
+}
+
+/// What topology a [`RuntimeBuilder`] realises at build time.
+enum BuilderTopology {
+    Preset(RuntimePreset),
+    Machine(Machine),
+    Ingested(memsim::IngestedTopology),
+}
+
+/// The one front door for constructing a [`CxlPmemRuntime`] — this builder
+/// collapses the three historical constructor families (the hard-wired
+/// `setup1`/`setup2`/`dcpmm_baseline` presets, `from_description`, and
+/// `from_ingested`) behind explicit knobs:
+///
+/// * **setup** — [`preset`](Self::preset) picks one of the paper's
+///   evaluation platforms (shorthands: [`RuntimeBuilder::setup1`],
+///   [`RuntimeBuilder::setup2`], [`RuntimeBuilder::dcpmm_baseline`]);
+/// * **topology** — [`machine`](Self::machine) wraps a caller-built machine
+///   model, [`from_description`](Self::from_description) parses + compiles a
+///   CEDT/SRAT-shaped plain-text description (validated *in the setter*, so
+///   [`build`](Self::build) stays infallible), and
+///   [`from_ingested`](Self::from_ingested) takes an already-compiled
+///   [`memsim::IngestedTopology`];
+/// * **pool** — [`fpga`](Self::fpga) supplies (or overrides) the Type-3
+///   expander card backing the far-memory tier, [`hpa_base`](Self::hpa_base)
+///   sets the host physical address its HDM decodes at, and
+///   [`functional_expander`](Self::functional_expander) controls whether a
+///   CPU-less memory node in an ingested topology gets a functional card
+///   derived from its device spec (so pools on that tier really store
+///   bytes).
+///
+/// ```
+/// use cxl_pmem::RuntimeBuilder;
+///
+/// let runtime = RuntimeBuilder::setup1().build();
+/// assert_eq!(runtime.topology().nodes().len(), 3);
+/// ```
+pub struct RuntimeBuilder {
+    topology: BuilderTopology,
+    fpga: Option<FpgaPrototype>,
+    hpa_base: u64,
+    functional_expander: bool,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Default HPA base the expander's HDM decodes at (arbitrary in the
+    /// model; 128 GiB keeps it clear of the DRAM nodes).
+    const DEFAULT_HPA_BASE: u64 = 0x20_0000_0000;
+
+    /// A builder for the paper's Setup #1 (the default preset).
+    pub fn new() -> Self {
+        RuntimeBuilder {
+            topology: BuilderTopology::Preset(RuntimePreset::SapphireRapidsCxl),
+            fpga: None,
+            hpa_base: Self::DEFAULT_HPA_BASE,
+            functional_expander: true,
+        }
+    }
+
+    /// Shorthand: a builder preconfigured for the paper's Setup #1 (dual
+    /// Sapphire Rapids with a CXL-attached DDR4-1333 expander on node 2).
+    pub fn setup1() -> Self {
+        Self::new().preset(RuntimePreset::SapphireRapidsCxl)
+    }
+
+    /// Shorthand: a builder preconfigured for the paper's Setup #2 (dual
+    /// Xeon Gold 5215 with DDR4-2666 only).
+    pub fn setup2() -> Self {
+        Self::new().preset(RuntimePreset::XeonGoldDdr4)
+    }
+
+    /// Shorthand: a builder preconfigured for the DCPMM baseline machine
+    /// (published Optane numbers on node 2).
+    pub fn dcpmm_baseline() -> Self {
+        Self::new().preset(RuntimePreset::SapphireRapidsDcpmm)
+    }
+
+    /// Setup knob: picks one of the paper's evaluation platforms.
+    pub fn preset(mut self, preset: RuntimePreset) -> Self {
+        self.topology = BuilderTopology::Preset(preset);
+        self
+    }
+
+    /// Topology knob: wraps a caller-provided machine model (ablations,
+    /// upgraded prototypes, ...). Pair with [`fpga`](Self::fpga) when the
+    /// machine has a far-memory node a card should back.
+    pub fn machine(mut self, machine: Machine) -> Self {
+        self.topology = BuilderTopology::Machine(machine);
+        self
+    }
+
+    /// Topology knob: parses + compiles a plain-text topology description —
+    /// the CEDT/SRAT-shaped ingest format of [`memsim::topology`]. Malformed
+    /// descriptions surface as [`RuntimeError::Topology`] *here*, keeping
+    /// [`build`](Self::build) infallible.
+    pub fn from_description(text: &str) -> crate::Result<Self> {
+        let description = memsim::TopologyDescription::parse(text)?;
+        Ok(Self::from_ingested(description.compile()?))
+    }
+
+    /// Topology knob: an already-compiled [`memsim::IngestedTopology`].
+    pub fn from_ingested(ingested: memsim::IngestedTopology) -> Self {
+        let mut builder = Self::new();
+        builder.topology = BuilderTopology::Ingested(ingested);
+        builder
+    }
+
+    /// Pool knob: the Type-3 expander card backing the far-memory tier. For
+    /// the Setup #1 preset this replaces the paper prototype; for a custom
+    /// machine it attaches the card; for an ingested topology it overrides
+    /// the derived functional expander. Presets without a far-memory node
+    /// (Setup #2, the DCPMM baseline) ignore it.
+    pub fn fpga(mut self, fpga: FpgaPrototype) -> Self {
+        self.fpga = Some(fpga);
+        self
+    }
+
+    /// Pool knob: the host physical address the expander's HDM decodes at
+    /// (ingested topologies with an explicit `[window.*]` base keep theirs).
+    pub fn hpa_base(mut self, hpa_base: u64) -> Self {
+        self.hpa_base = hpa_base;
+        self
+    }
+
+    /// Pool knob: whether an ingested topology's CPU-less memory node gets a
+    /// functional expander derived from its device spec (default `true`;
+    /// switch off to model a topology whose far tier holds no real bytes).
+    pub fn functional_expander(mut self, enabled: bool) -> Self {
+        self.functional_expander = enabled;
+        self
+    }
+
+    /// Realises the runtime. Infallible: every fallible input was validated
+    /// by its setter.
+    pub fn build(self) -> CxlPmemRuntime {
+        match self.topology {
+            BuilderTopology::Preset(RuntimePreset::SapphireRapidsCxl) => {
+                let fpga = self.fpga.unwrap_or_else(FpgaPrototype::paper_prototype);
+                // Enumerate the card so its HDM is accessible; the HPA base
+                // is arbitrary in the model.
+                let _ = fpga.enumerate(self.hpa_base);
+                // Keep the machine description consistent with the card.
+                let machine = memsim::machines::sapphire_rapids_cxl_machine()
+                    .with_device(2, fpga.to_memsim_device())
+                    .expect("node 2 exists")
+                    .with_path(0, 2, fpga.to_memsim_path())
+                    .with_path(1, 2, fpga.to_memsim_path());
+                CxlPmemRuntime::from_parts(
+                    SetupKind::SapphireRapidsCxl,
+                    Engine::new(machine),
+                    Some(fpga),
+                )
+            }
+            BuilderTopology::Preset(RuntimePreset::XeonGoldDdr4) => CxlPmemRuntime::from_parts(
+                SetupKind::XeonGoldDdr4,
+                Engine::new(memsim::machines::xeon_gold_ddr4_machine()),
+                None,
+            ),
+            BuilderTopology::Preset(RuntimePreset::SapphireRapidsDcpmm) => {
+                CxlPmemRuntime::from_parts(
+                    SetupKind::SapphireRapidsDcpmm,
+                    Engine::new(memsim::machines::sapphire_rapids_dcpmm_machine()),
+                    None,
+                )
+            }
+            BuilderTopology::Machine(machine) => {
+                CxlPmemRuntime::from_parts(SetupKind::Custom, Engine::new(machine), self.fpga)
+            }
+            BuilderTopology::Ingested(ingested) => {
+                let memsim::IngestedTopology { machine, windows } = ingested;
+                let node = machine.topology().memory_only_nodes().next().map(|n| n.id);
+                let fpga = node.and_then(|node| {
+                    let hpa_base = windows
+                        .iter()
+                        .find(|w| w.node == node)
+                        .map(|w| w.hpa_base)
+                        .unwrap_or(self.hpa_base);
+                    let fpga = match self.fpga {
+                        Some(fpga) => fpga,
+                        None if self.functional_expander => {
+                            let device = machine
+                                .device(node)
+                                .expect("compiled topologies back every memory node with a device");
+                            CxlPmemRuntime::functional_expander(device)
+                        }
+                        None => return None,
+                    };
+                    let _ = fpga.enumerate(hpa_base);
+                    Some(fpga)
+                });
+                let mut runtime =
+                    CxlPmemRuntime::from_parts(SetupKind::Ingested, Engine::new(machine), fpga);
+                runtime.interleaves = windows
+                    .iter()
+                    .map(InterleavedWindow::from_compiled)
+                    .collect();
+                runtime
+            }
+        }
+    }
+}
+
 /// The top-level runtime object.
 pub struct CxlPmemRuntime {
     kind: SetupKind,
@@ -299,45 +516,37 @@ impl CxlPmemRuntime {
 
     /// Builds the paper's Setup #1: dual Sapphire Rapids with a CXL-attached
     /// DDR4-1333 expander (an [`FpgaPrototype`]) exposed as NUMA node 2.
+    #[deprecated(since = "0.1.0", note = "use `RuntimeBuilder::setup1().build()`")]
     pub fn setup1() -> Self {
-        let fpga = FpgaPrototype::paper_prototype();
-        // Enumerate the card so its HDM is accessible; the HPA base is
-        // arbitrary in the model.
-        let _ = fpga.enumerate(0x20_0000_0000);
-        // Keep the machine description consistent with the card's parameters.
-        let machine = memsim::machines::sapphire_rapids_cxl_machine()
-            .with_device(2, fpga.to_memsim_device())
-            .expect("node 2 exists")
-            .with_path(0, 2, fpga.to_memsim_path())
-            .with_path(1, 2, fpga.to_memsim_path());
-        Self::from_parts(
-            SetupKind::SapphireRapidsCxl,
-            Engine::new(machine),
-            Some(fpga),
-        )
+        RuntimeBuilder::setup1().build()
     }
 
     /// Builds the paper's Setup #2: dual Xeon Gold 5215 with DDR4-2666 only.
+    #[deprecated(since = "0.1.0", note = "use `RuntimeBuilder::setup2().build()`")]
     pub fn setup2() -> Self {
-        Self::from_parts(
-            SetupKind::XeonGoldDdr4,
-            Engine::new(memsim::machines::xeon_gold_ddr4_machine()),
-            None,
-        )
+        RuntimeBuilder::setup2().build()
     }
 
     /// Builds the DCPMM baseline machine (published Optane numbers on node 2).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RuntimeBuilder::dcpmm_baseline().build()`"
+    )]
     pub fn dcpmm_baseline() -> Self {
-        Self::from_parts(
-            SetupKind::SapphireRapidsDcpmm,
-            Engine::new(memsim::machines::sapphire_rapids_dcpmm_machine()),
-            None,
-        )
+        RuntimeBuilder::dcpmm_baseline().build()
     }
 
     /// Wraps a caller-provided machine (ablations, upgraded prototypes...).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RuntimeBuilder::new().machine(machine)` (plus `.fpga(...)`) and `.build()`"
+    )]
     pub fn custom(machine: Machine, fpga: Option<FpgaPrototype>) -> Self {
-        Self::from_parts(SetupKind::Custom, Engine::new(machine), fpga)
+        let mut builder = RuntimeBuilder::new().machine(machine);
+        if let Some(fpga) = fpga {
+            builder = builder.fpga(fpga);
+        }
+        builder.build()
     }
 
     /// Builds a runtime from a plain-text topology description — the
@@ -349,38 +558,21 @@ impl CxlPmemRuntime {
     /// [`InterleavedWindow`] with one endpoint per interleave way.
     ///
     /// Malformed descriptions surface as [`RuntimeError::Topology`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RuntimeBuilder::from_description(text)?.build()`"
+    )]
     pub fn from_description(text: &str) -> crate::Result<Self> {
-        let description = memsim::TopologyDescription::parse(text)?;
-        Ok(Self::from_ingested(description.compile()?))
+        Ok(RuntimeBuilder::from_description(text)?.build())
     }
 
     /// Builds a runtime from an already-compiled [`memsim::IngestedTopology`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `RuntimeBuilder::from_ingested(ingested).build()`"
+    )]
     pub fn from_ingested(ingested: memsim::IngestedTopology) -> Self {
-        let memsim::IngestedTopology { machine, windows } = ingested;
-        let fpga = machine
-            .topology()
-            .memory_only_nodes()
-            .next()
-            .map(|n| n.id)
-            .map(|node| {
-                let device = machine
-                    .device(node)
-                    .expect("compiled topologies back every memory node with a device");
-                let hpa_base = windows
-                    .iter()
-                    .find(|w| w.node == node)
-                    .map(|w| w.hpa_base)
-                    .unwrap_or(0x20_0000_0000);
-                let fpga = Self::functional_expander(device);
-                let _ = fpga.enumerate(hpa_base);
-                fpga
-            });
-        let mut runtime = Self::from_parts(SetupKind::Ingested, Engine::new(machine), fpga);
-        runtime.interleaves = windows
-            .iter()
-            .map(InterleavedWindow::from_compiled)
-            .collect();
-        runtime
+        RuntimeBuilder::from_ingested(ingested).build()
     }
 
     /// A functional expander mirroring an ingested [`memsim::DeviceSpec`]:
@@ -801,7 +993,7 @@ mod tests {
 
     #[test]
     fn setup1_exposes_the_expander_as_node2() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         assert_eq!(rt.setup(), SetupKind::SapphireRapidsCxl);
         assert!(rt.fpga().is_some());
         assert_eq!(rt.topology().nodes().len(), 3);
@@ -810,16 +1002,20 @@ mod tests {
 
     #[test]
     fn setup2_and_dcpmm_variants_exist() {
-        assert_eq!(CxlPmemRuntime::setup2().setup(), SetupKind::XeonGoldDdr4);
-        let dcpmm = CxlPmemRuntime::dcpmm_baseline();
+        assert_eq!(
+            RuntimeBuilder::setup2().build().setup(),
+            SetupKind::XeonGoldDdr4
+        );
+        let dcpmm = RuntimeBuilder::dcpmm_baseline().build();
         assert_eq!(dcpmm.setup(), SetupKind::SapphireRapidsDcpmm);
         assert!(dcpmm.fpga().is_none());
     }
 
     #[test]
     fn ingested_runtime_provisions_pools_from_the_description() {
-        let rt = CxlPmemRuntime::from_description(memsim::topology::reference::SPR_FPGA_CXL)
-            .expect("reference description ingests");
+        let rt = RuntimeBuilder::from_description(memsim::topology::reference::SPR_FPGA_CXL)
+            .expect("reference description ingests")
+            .build();
         assert_eq!(rt.setup(), SetupKind::Ingested);
         assert!(rt.fpga().is_some());
         assert!(rt.interleaved_windows().is_empty());
@@ -841,8 +1037,9 @@ mod tests {
     #[test]
     fn ingested_interleave_window_partitions_the_hpa_space() {
         let rt =
-            CxlPmemRuntime::from_description(memsim::topology::reference::SPR_DUAL_CXL_INTERLEAVE)
-                .expect("reference description ingests");
+            RuntimeBuilder::from_description(memsim::topology::reference::SPR_DUAL_CXL_INTERLEAVE)
+                .expect("reference description ingests")
+                .build();
         let windows = rt.interleaved_windows();
         assert_eq!(windows.len(), 1);
         let window = &windows[0];
@@ -869,7 +1066,7 @@ mod tests {
 
     #[test]
     fn malformed_description_is_a_typed_runtime_error() {
-        let err = match CxlPmemRuntime::from_description("[machine]\nname = \"empty\"\n") {
+        let err = match RuntimeBuilder::from_description("[machine]\nname = \"empty\"\n") {
             Err(e) => e,
             Ok(_) => panic!("empty machine must not ingest"),
         };
@@ -879,7 +1076,7 @@ mod tests {
 
     #[test]
     fn pool_on_the_expander_uses_the_cxl_device() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let pool = rt
             .provision_pool(&TierPolicy::CxlExpander, "stream", 8 * 1024 * 1024)
             .unwrap();
@@ -895,7 +1092,7 @@ mod tests {
 
     #[test]
     fn pool_on_dram_tiers_reports_the_right_mount() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let local = rt
             .provision_pool(
                 &TierPolicy::LocalDram { socket: 0 },
@@ -916,13 +1113,13 @@ mod tests {
 
     #[test]
     fn oversized_pools_and_missing_expander_are_rejected() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         assert!(matches!(
             rt.provision_pool(&TierPolicy::CxlExpander, "x", 100 * GIB)
                 .unwrap_err(),
             RuntimeError::PoolTooLarge { .. }
         ));
-        let rt2 = CxlPmemRuntime::setup2();
+        let rt2 = RuntimeBuilder::setup2().build();
         assert!(rt2
             .provision_pool(&TierPolicy::CxlExpander, "x", 1024 * 1024)
             .is_err());
@@ -930,7 +1127,7 @@ mod tests {
 
     #[test]
     fn stream_phase_bandwidth_ordering_matches_paper() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let placement = rt.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
         let local = rt
             .simulate_stream_phase("local", &placement, 0, GB, GB / 2, AccessMode::AppDirect)
@@ -951,7 +1148,7 @@ mod tests {
 
     #[test]
     fn memory_mode_is_faster_than_app_direct_on_the_same_tier() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let placement = rt.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
         let appdirect = rt
             .simulate_stream_phase("ad", &placement, 2, GB, GB / 2, AccessMode::AppDirect)
@@ -967,7 +1164,7 @@ mod tests {
 
     #[test]
     fn expansion_phase_spreads_traffic() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let placement = rt.place(&AffinityPolicy::SingleSocket(0), 8).unwrap();
         let plan = crate::placement::ExpansionPlan::spill(rt.machine(), 80 * GIB, &[0, 2]).unwrap();
         let report = rt
@@ -980,9 +1177,9 @@ mod tests {
 
     #[test]
     fn peak_bandwidth_headline_comparison() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let cxl_peak = rt.peak_bandwidth_gbs(0, 2, AccessMode::AppDirect).unwrap();
-        let dcpmm_rt = CxlPmemRuntime::dcpmm_baseline();
+        let dcpmm_rt = RuntimeBuilder::dcpmm_baseline().build();
         let dcpmm_peak = dcpmm_rt
             .peak_bandwidth_gbs(0, 2, AccessMode::AppDirect)
             .unwrap();
@@ -992,7 +1189,7 @@ mod tests {
 
     #[test]
     fn worker_pools_are_provisioned_once_per_placement() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let p8 = rt.place(&AffinityPolicy::SingleSocket(0), 8).unwrap();
         let p4 = rt.place(&AffinityPolicy::SingleSocket(0), 4).unwrap();
         let first = rt.worker_pool(&p8);
@@ -1018,7 +1215,7 @@ mod tests {
 
     #[test]
     fn worker_pool_for_places_and_provisions() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let pool = rt.worker_pool_for(&AffinityPolicy::close(), 6).unwrap();
         assert_eq!(pool.len(), 6);
         let again = rt.worker_pool_for(&AffinityPolicy::close(), 6).unwrap();
@@ -1030,7 +1227,7 @@ mod tests {
     fn checkpoint_region_parallel_persist_and_runtime_restore() {
         use pmem::{CheckpointCrash, CheckpointPhase, CheckpointRegion, CrashPoint};
 
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let data_len = 64 * 1024u64;
         let chunk_len = 4096u64;
         let managed = rt
@@ -1079,7 +1276,7 @@ mod tests {
         use cxl::CoherenceMode;
         use pmem::{CheckpointCrash, CheckpointPhase, CrashPoint};
 
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         let cluster = rt.disaggregated_cluster(2, CoherenceMode::SoftwareManaged);
         assert_eq!(cluster.ports(), 2);
         let workers = rt.worker_pool_for(&AffinityPolicy::close(), 4).unwrap();
@@ -1119,23 +1316,23 @@ mod tests {
 
     #[test]
     fn restore_region_rejects_volatile_tiers_and_missing_expanders() {
-        let rt = CxlPmemRuntime::setup1();
+        let rt = RuntimeBuilder::setup1().build();
         assert!(matches!(
             rt.restore_region(&TierPolicy::LocalDram { socket: 0 }, "x")
                 .unwrap_err(),
             RuntimeError::VolatileTier { node: 0 }
         ));
         // Setup #2 has no expander at all.
-        let rt2 = CxlPmemRuntime::setup2();
+        let rt2 = RuntimeBuilder::setup2().build();
         assert!(rt2.restore_region(&TierPolicy::CxlExpander, "x").is_err());
     }
 
     #[test]
     fn custom_runtime_wraps_any_machine() {
         let machine = memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 4);
-        let rt = CxlPmemRuntime::custom(machine, None);
+        let rt = RuntimeBuilder::new().machine(machine).build();
         assert_eq!(rt.setup(), SetupKind::Custom);
-        let base = CxlPmemRuntime::setup1();
+        let base = RuntimeBuilder::setup1().build();
         let placement = rt.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
         let upgraded = rt
             .simulate_stream_phase("up", &placement, 2, GB, GB / 2, AccessMode::MemoryMode)
@@ -1144,5 +1341,37 @@ mod tests {
             .simulate_stream_phase("base", &placement, 2, GB, GB / 2, AccessMode::MemoryMode)
             .unwrap();
         assert!(upgraded.bandwidth_gbs > baseline.bandwidth_gbs);
+    }
+
+    /// The deprecated constructor shims must stay exact drop-ins for the
+    /// builder until they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_delegate_to_the_builder() {
+        assert_eq!(
+            CxlPmemRuntime::setup1().setup(),
+            SetupKind::SapphireRapidsCxl
+        );
+        assert_eq!(CxlPmemRuntime::setup2().setup(), SetupKind::XeonGoldDdr4);
+        assert_eq!(
+            CxlPmemRuntime::dcpmm_baseline().setup(),
+            SetupKind::SapphireRapidsDcpmm
+        );
+        let machine = memsim::machines::sapphire_rapids_cxl_upgraded(2.4, 4);
+        assert_eq!(
+            CxlPmemRuntime::custom(machine, None).setup(),
+            SetupKind::Custom
+        );
+        let rt = CxlPmemRuntime::from_description(memsim::topology::reference::SPR_FPGA_CXL)
+            .expect("reference description ingests");
+        assert_eq!(rt.setup(), SetupKind::Ingested);
+        let ingested =
+            memsim::TopologyDescription::parse(memsim::topology::reference::SPR_FPGA_CXL)
+                .and_then(|d| d.compile())
+                .expect("reference description compiles");
+        assert_eq!(
+            CxlPmemRuntime::from_ingested(ingested).setup(),
+            SetupKind::Ingested
+        );
     }
 }

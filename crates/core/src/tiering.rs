@@ -968,13 +968,14 @@ impl TieredRegion {
 mod tests {
     use super::*;
     use crate::placement::ExpansionPlan;
+    use crate::runtime::RuntimeBuilder;
     use memsim::units::GIB;
     use pmem::SerialExecutor;
 
     const KIB: u64 = 1024;
 
     fn runtime() -> CxlPmemRuntime {
-        CxlPmemRuntime::setup1()
+        RuntimeBuilder::setup1().build()
     }
 
     fn two_tiers() -> Vec<(TierPolicy, u64)> {

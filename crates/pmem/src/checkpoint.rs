@@ -145,7 +145,7 @@ pub struct CheckpointCrash {
 
 /// Ordinal of a crash point, used as the deterministic sub-position inside
 /// the chunk-flush and header-write phases.
-fn point_ordinal(point: CrashPoint) -> usize {
+pub(crate) fn point_ordinal(point: CrashPoint) -> usize {
     match point {
         CrashPoint::AfterLogAppend => 0,
         CrashPoint::BeforeCommit => 1,
@@ -266,7 +266,7 @@ impl SlotHeader {
 /// cache across checkpoint calls instead of re-validating both slots each
 /// time).
 #[derive(Debug)]
-enum PoolRef<'p> {
+pub(crate) enum PoolRef<'p> {
     Borrowed(&'p PmemPool),
     Shared(Arc<PmemPool>),
 }

@@ -61,6 +61,12 @@ pub enum PmemError {
     /// A chunk-residency map operation failed (bad header, out-of-range tier,
     /// stale migration source, ...).
     Residency(&'static str),
+    /// An object-store operation failed (bad descriptor, id beyond capacity,
+    /// value longer than the slot, commit without a staged put, ...).
+    ObjectStore(&'static str),
+    /// A lookup named an object id with no committed version in the store's
+    /// directory.
+    NoSuchObject(u64),
 }
 
 impl fmt::Display for PmemError {
@@ -100,6 +106,10 @@ impl fmt::Display for PmemError {
             PmemError::SizeOverflow => write!(f, "requested size overflows the pool address space"),
             PmemError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             PmemError::Residency(msg) => write!(f, "residency error: {msg}"),
+            PmemError::ObjectStore(msg) => write!(f, "object store error: {msg}"),
+            PmemError::NoSuchObject(id) => {
+                write!(f, "object {id} has no committed version in this store")
+            }
         }
     }
 }

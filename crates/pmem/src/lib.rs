@@ -22,6 +22,10 @@
 //!   epoch-versioned snapshot slots with incremental dirty-chunk persists and
 //!   a transactional commit record; validated by an exhaustive crash matrix
 //!   (`tests/crash_matrix.rs`).
+//! * [`object`] — a versioned transactional object store: a durable directory
+//!   of millions of small epoch-versioned objects whose per-object commit
+//!   records ride the undo log (double-buffered payload slots, checksummed
+//!   entries, its own crash-injection phases and tear matrix).
 //! * [`residency`] — the durable chunk → tier table the adaptive tiering
 //!   engine commits its migrations through (the undo log is the migration
 //!   record, so a crash mid-migration rolls back to the source tier).
@@ -65,6 +69,7 @@ pub mod array;
 pub mod backend;
 pub mod checkpoint;
 pub mod error;
+pub mod object;
 pub mod oid;
 pub mod persist;
 pub mod pool;
@@ -79,6 +84,7 @@ pub use checkpoint::{
     ChunkExecutor, SerialExecutor,
 };
 pub use error::PmemError;
+pub use object::{ObjectCrash, ObjectPhase, ObjectStore, StoreCheck};
 pub use oid::{PmemOid, TypedOid};
 pub use persist::PersistStats;
 pub use pool::{PmemPool, PoolConfig};

@@ -1,0 +1,776 @@
+//! Versioned transactional object store: a durable directory of small,
+//! epoch-versioned objects inside one pool allocation.
+//!
+//! The [`crate::checkpoint`] module versions one *region*; this module
+//! versions millions of *objects* with the same discipline, so a shared far
+//! memory segment can serve KV-style traffic instead of bulk snapshots. Every
+//! object gets two payload slots (double buffering, committed slot =
+//! `epoch % 2`) and one 40-byte directory entry that acts as its commit
+//! record. Entry updates ride the pool's undo log, so a torn commit rolls
+//! back to the previous version on recovery; payload bytes are drained
+//! *before* the entry transaction, so the version named by a committed entry
+//! is always bit-exact.
+//!
+//! # Layout
+//!
+//! ```text
+//! base ┌──────────────────────────────────────────────────────────────┐
+//!      │ store descriptor (64 B)                                      │
+//!      │   magic "OBJSTOR1" · version · capacity · value_len          │
+//!      │   commit_seq ◄─ undo log   live ◄─ undo log                  │
+//!      ├──────────────────────────────────────────────────────────────┤
+//!      │ directory: capacity × entry (40 B)                           │
+//!      │   tag (id+1, 0 = free) · epoch · len · value_hash · checksum │
+//!      ├──────────────────────────────────────────────────────────────┤
+//!      │ slots: capacity × 2 × value_len (slot epoch % 2 = committed) │
+//!      └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! # Commit protocol (per object)
+//!
+//! 1. **Slot write** — [`ObjectStore::put`] writes the new payload into the
+//!    object's *staging* slot (`(epoch + 1) % 2`) and flushes it. The
+//!    committed slot is never touched.
+//! 2. **Drain** — [`ObjectStore::commit`] issues one `drain()`, making the
+//!    staged payload durable before any commit record can name it.
+//! 3. **Entry commit** — the new directory entry (epoch + 1, length, payload
+//!    hash, entry checksum) and the descriptor counters are written inside
+//!    one undo-log transaction. A crash before the log commit rolls the
+//!    entry back; a crash after it leaves the new version fully durable.
+//!
+//! Readers validate the entry checksum and the payload hash on every
+//! [`ObjectStore::get`], so external corruption (or a bug in the protocol)
+//! surfaces as a typed error, never as silently torn bytes.
+//!
+//! Crash injection mirrors the checkpoint pipeline: [`ObjectPhase`] names the
+//! commit stage, [`CrashPoint`] the sub-position, and the exhaustive product
+//! is exercised by the `object_crash_matrix` integration suite.
+
+use crate::checkpoint::{point_ordinal, PoolRef};
+use crate::error::PmemError;
+use crate::oid::PmemOid;
+use crate::pool::{fnv1a, PmemPool, MIN_POOL_SIZE};
+use crate::tx::CrashPoint;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Magic tag of a store descriptor ("OBJSTOR1").
+const STORE_MAGIC: u64 = 0x4F42_4A53_544F_5231;
+/// On-media format version.
+const STORE_VERSION: u32 = 1;
+/// Bytes reserved for the store descriptor.
+const DESC_SIZE: u64 = 64;
+/// Bytes per directory entry.
+const ENTRY_SIZE: u64 = 40;
+/// Checksummed prefix of a directory entry.
+const ENTRY_BODY: usize = 32;
+/// Descriptor offset of the commit-sequence counter.
+const COMMIT_SEQ_AT: u64 = 32;
+/// Descriptor offset of the live-object counter.
+const LIVE_AT: u64 = 40;
+
+/// Pipeline stage an [`ObjectCrash`] fires in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectPhase {
+    /// While the staged payload is written + flushed into the staging slot.
+    /// The [`CrashPoint`] ordinal selects: 0 = before any payload byte,
+    /// 1 = after half the payload (torn slot), 2 = after the payload bytes
+    /// but before the flush, 3 = after the payload is fully persisted (a
+    /// complete but uncommitted version).
+    SlotWrite,
+    /// Inside the directory-entry transaction — the per-object commit
+    /// record. The [`CrashPoint`] is armed on the pool and fires at its
+    /// native transaction site ([`CrashPoint::DuringRecovery`] never fires
+    /// inside a transaction, so that cell commits cleanly).
+    EntryCommit,
+    /// During the recovery that follows an interrupted commit: the commit
+    /// transaction is crashed at [`CrashPoint::BeforeCommit`] to strand the
+    /// undo log, and the [`CrashPoint`] is left armed on the pool so the
+    /// next [`PmemPool::recover`] call hits it (only
+    /// [`CrashPoint::DuringRecovery`] actually fires there).
+    Recovery,
+}
+
+impl ObjectPhase {
+    /// Every phase, in pipeline order — the crash matrix iterates this.
+    pub const ALL: [ObjectPhase; 3] = [
+        ObjectPhase::SlotWrite,
+        ObjectPhase::EntryCommit,
+        ObjectPhase::Recovery,
+    ];
+}
+
+/// A crash to inject into the *next* put/commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectCrash {
+    /// Pipeline stage the crash fires in.
+    pub phase: ObjectPhase,
+    /// Sub-position within the stage (see [`ObjectPhase`]).
+    pub point: CrashPoint,
+}
+
+/// A decoded, validated directory entry for a live object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    epoch: u64,
+    len: u64,
+    value_hash: u64,
+}
+
+impl Entry {
+    /// Serialises the entry for object `id`: tag, epoch, length, payload
+    /// hash, then an FNV-1a checksum of those 32 bytes.
+    fn to_bytes(self, id: u64) -> [u8; ENTRY_SIZE as usize] {
+        let mut bytes = [0u8; ENTRY_SIZE as usize];
+        bytes[0..8].copy_from_slice(&(id + 1).to_le_bytes());
+        bytes[8..16].copy_from_slice(&self.epoch.to_le_bytes());
+        bytes[16..24].copy_from_slice(&self.len.to_le_bytes());
+        bytes[24..32].copy_from_slice(&self.value_hash.to_le_bytes());
+        let checksum = fnv1a(&bytes[..ENTRY_BODY]);
+        bytes[32..40].copy_from_slice(&checksum.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes an entry. `Ok(None)` = free slot; tag or checksum mismatches
+    /// surface as typed errors (the entry is tx-guarded, so a mismatch means
+    /// external corruption, not a protocol tear).
+    fn from_bytes(bytes: &[u8; ENTRY_SIZE as usize], id: u64) -> Result<Option<Entry>> {
+        let word = |at: usize| {
+            let mut buf = [0u8; 8];
+            // in-bounds: at ∈ {0, 8, 16, 24, 32}; the entry is 40 bytes.
+            buf.copy_from_slice(&bytes[at..at + 8]);
+            u64::from_le_bytes(buf)
+        };
+        let tag = word(0);
+        if tag == 0 {
+            return Ok(None);
+        }
+        if word(32) != fnv1a(&bytes[..ENTRY_BODY]) {
+            return Err(PmemError::ObjectStore("directory entry checksum mismatch"));
+        }
+        if tag != id + 1 {
+            return Err(PmemError::ObjectStore("directory entry tag mismatch"));
+        }
+        Ok(Some(Entry {
+            epoch: word(8),
+            len: word(16),
+            value_hash: word(24),
+        }))
+    }
+}
+
+/// A payload staged by [`ObjectStore::put`], waiting for its commit record.
+#[derive(Debug, Clone, Copy)]
+struct Staged {
+    len: u64,
+    hash: u64,
+}
+
+/// Point-in-time health counters from a full directory scan
+/// ([`ObjectStore::verify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreCheck {
+    /// Entries holding a committed version whose payload validated.
+    pub live: u64,
+    /// Free directory entries.
+    pub free: u64,
+    /// Highest committed epoch seen across all objects.
+    pub max_epoch: u64,
+}
+
+/// A versioned transactional object store inside a pool.
+///
+/// See the [module docs](self) for the layout and the commit protocol.
+pub struct ObjectStore<'p> {
+    pool: PoolRef<'p>,
+    base: u64,
+    capacity: u64,
+    value_len: u64,
+    commit_seq: u64,
+    live: u64,
+    staged: HashMap<u64, Staged>,
+    crash: Option<ObjectCrash>,
+}
+
+impl std::fmt::Debug for ObjectStore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectStore")
+            .field("base", &self.base)
+            .field("capacity", &self.capacity)
+            .field("value_len", &self.value_len)
+            .field("commit_seq", &self.commit_seq)
+            .field("live", &self.live)
+            .finish()
+    }
+}
+
+impl<'p> ObjectStore<'p> {
+    // ---------------------------------------------------------------- sizing
+
+    /// Bytes the store occupies inside a pool: descriptor + directory + two
+    /// payload slots per object.
+    pub fn region_size(capacity: u64, value_len: u64) -> u64 {
+        DESC_SIZE + capacity * ENTRY_SIZE + 2 * capacity * value_len
+    }
+
+    /// A pool size comfortably fitting one store of this shape
+    /// ([`MIN_POOL_SIZE`] covers the pool header and undo log; the slack
+    /// covers heap bookkeeping) — what the cluster's `create_store`
+    /// provisions.
+    pub fn required_pool_size(capacity: u64, value_len: u64) -> u64 {
+        MIN_POOL_SIZE + Self::region_size(capacity, value_len) + 64 * 1024
+    }
+
+    // ---------------------------------------------------------------- create
+
+    /// Formats a fresh store for up to `capacity` objects of at most
+    /// `value_len` bytes each. Every directory entry starts free.
+    pub fn format(pool: &'p PmemPool, capacity: u64, value_len: u64) -> Result<Self> {
+        if capacity == 0 || value_len == 0 {
+            return Err(PmemError::ObjectStore(
+                "capacity and value_len must be non-zero",
+            ));
+        }
+        let dir_len = capacity
+            .checked_mul(ENTRY_SIZE)
+            .ok_or(PmemError::SizeOverflow)?;
+        let slots_len = capacity
+            .checked_mul(2 * value_len)
+            .ok_or(PmemError::SizeOverflow)?;
+        let region = DESC_SIZE
+            .checked_add(dir_len)
+            .and_then(|n| n.checked_add(slots_len))
+            .ok_or(PmemError::SizeOverflow)?;
+        let oid = pool.alloc_bytes(region)?;
+        let base = oid.offset;
+        let mut desc = [0u8; DESC_SIZE as usize];
+        desc[0..8].copy_from_slice(&STORE_MAGIC.to_le_bytes());
+        desc[8..12].copy_from_slice(&STORE_VERSION.to_le_bytes());
+        desc[16..24].copy_from_slice(&capacity.to_le_bytes());
+        desc[24..32].copy_from_slice(&value_len.to_le_bytes());
+        // commit_seq and live start at zero (already zeroed above).
+        pool.write(base, &desc)?;
+        // The directory must be explicitly freed: the heap may hand back a
+        // recycled block still carrying another store's entries. Payload
+        // slots need no scrub — only a committed entry makes one visible.
+        let zeros = vec![0u8; 64 * 1024];
+        let mut written = 0u64;
+        while written < dir_len {
+            let step = (dir_len - written).min(zeros.len() as u64);
+            // in-bounds: step ≤ zeros.len() by the min above.
+            pool.write(base + DESC_SIZE + written, &zeros[..step as usize])?;
+            written += step;
+        }
+        pool.persist(base, DESC_SIZE + dir_len)?;
+        Ok(ObjectStore {
+            pool: PoolRef::Borrowed(pool),
+            base,
+            capacity,
+            value_len,
+            commit_seq: 0,
+            live: 0,
+            staged: HashMap::new(),
+            crash: None,
+        })
+    }
+
+    /// Opens an existing store at `oid` (typically after a pool reopen),
+    /// validating the descriptor.
+    pub fn open(pool: &'p PmemPool, oid: PmemOid) -> Result<Self> {
+        Self::open_at(PoolRef::Borrowed(pool), oid)
+    }
+
+    fn open_at(pool: PoolRef<'p>, oid: PmemOid) -> Result<Self> {
+        let base = oid.offset;
+        let mut desc = [0u8; DESC_SIZE as usize];
+        pool.read(base, &mut desc)?;
+        let word = |at: usize| {
+            let mut buf = [0u8; 8];
+            // in-bounds: at ∈ {0, 16, 24, 32, 40}; desc is 64 bytes.
+            buf.copy_from_slice(&desc[at..at + 8]);
+            u64::from_le_bytes(buf)
+        };
+        if word(0) != STORE_MAGIC {
+            return Err(PmemError::ObjectStore("store descriptor magic mismatch"));
+        }
+        let version = u32::from_le_bytes([desc[8], desc[9], desc[10], desc[11]]);
+        if version != STORE_VERSION {
+            return Err(PmemError::ObjectStore("unsupported store version"));
+        }
+        let capacity = word(16);
+        let value_len = word(24);
+        if capacity == 0 || value_len == 0 {
+            return Err(PmemError::ObjectStore("corrupt store descriptor"));
+        }
+        Ok(ObjectStore {
+            pool,
+            base,
+            capacity,
+            value_len,
+            commit_seq: word(32),
+            live: word(40),
+            staged: HashMap::new(),
+            crash: None,
+        })
+    }
+
+    /// Opens the pool's root store with **shared ownership** of the pool, so
+    /// the store can outlive the caller's stack frame — the disaggregated
+    /// cluster's per-host store handles use this.
+    pub fn open_root_shared(pool: Arc<PmemPool>) -> Result<ObjectStore<'static>> {
+        let (oid, _) = pool
+            .root()
+            .ok_or(PmemError::ObjectStore("pool has no root store"))?;
+        ObjectStore::open_at(PoolRef::Shared(pool), oid)
+    }
+
+    /// Opens the store registered as the pool's root object.
+    pub fn open_root(pool: &'p PmemPool) -> Result<Self> {
+        let (oid, _) = pool
+            .root()
+            .ok_or(PmemError::ObjectStore("pool has no root store"))?;
+        Self::open(pool, oid)
+    }
+
+    // ------------------------------------------------------------- accessors
+
+    /// This store's object id — hand it to [`PmemPool::set_root`] so the
+    /// store survives a pool reopen.
+    pub fn oid(&self) -> PmemOid {
+        PmemOid::new(self.pool.uuid(), self.base)
+    }
+
+    /// Maximum number of objects the store can hold.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Maximum payload bytes per object.
+    pub fn value_len(&self) -> u64 {
+        self.value_len
+    }
+
+    /// Number of objects currently holding a committed version.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Monotone count of committed directory mutations (commits + deletes).
+    pub fn commit_seq(&self) -> u64 {
+        self.commit_seq
+    }
+
+    /// Arms a crash for the next put/commit (consumed by the phase it names,
+    /// exactly once, like [`PmemPool::set_crash_point`]).
+    pub fn set_crash(&mut self, crash: Option<ObjectCrash>) {
+        self.crash = crash;
+    }
+
+    // --------------------------------------------------------------- offsets
+
+    fn entry_off(&self, id: u64) -> u64 {
+        self.base + DESC_SIZE + id * ENTRY_SIZE
+    }
+
+    fn slot_off(&self, id: u64, slot: u64) -> u64 {
+        self.base + DESC_SIZE + self.capacity * ENTRY_SIZE + (id * 2 + slot) * self.value_len
+    }
+
+    /// Which payload slot holds epoch `e` (for `e ≥ 1`).
+    fn slot_for(epoch: u64) -> u64 {
+        epoch % 2
+    }
+
+    fn check_id(&self, id: u64) -> Result<()> {
+        if id >= self.capacity {
+            return Err(PmemError::ObjectStore("object id beyond store capacity"));
+        }
+        Ok(())
+    }
+
+    fn read_entry(&self, id: u64) -> Result<Option<Entry>> {
+        let mut bytes = [0u8; ENTRY_SIZE as usize];
+        self.pool.read(self.entry_off(id), &mut bytes)?;
+        Entry::from_bytes(&bytes, id)
+    }
+
+    // ----------------------------------------------------------------- write
+
+    /// Stages a new version of object `id`: writes `value` into the object's
+    /// staging slot and flushes it. Nothing is visible to readers until
+    /// [`commit`](Self::commit); the committed version (if any) is untouched.
+    pub fn put(&mut self, id: u64, value: &[u8]) -> Result<()> {
+        self.check_id(id)?;
+        if value.len() as u64 > self.value_len {
+            return Err(PmemError::ObjectStore(
+                "value exceeds the store's slot length",
+            ));
+        }
+        let epoch = self.read_entry(id)?.map_or(0, |e| e.epoch);
+        let off = self.slot_off(id, Self::slot_for(epoch + 1));
+        if let Some(c) = self.crash {
+            if c.phase == ObjectPhase::SlotWrite {
+                self.crash = None;
+                match point_ordinal(c.point) {
+                    0 => {}
+                    // in-bounds: value.len() / 2 ≤ value.len().
+                    1 => self.pool.write(off, &value[..value.len() / 2])?,
+                    2 => self.pool.write(off, value)?,
+                    _ => {
+                        self.pool.write(off, value)?;
+                        self.pool.persist(off, value.len() as u64)?;
+                    }
+                }
+                return Err(PmemError::InjectedCrash("object-slot-write"));
+            }
+        }
+        self.pool.write(off, value)?;
+        self.pool.flush(off, value.len() as u64)?;
+        self.staged.insert(
+            id,
+            Staged {
+                len: value.len() as u64,
+                hash: fnv1a(value),
+            },
+        );
+        Ok(())
+    }
+
+    /// Whether object `id` has a staged, not-yet-committed put.
+    pub fn has_staged(&self, id: u64) -> bool {
+        self.staged.contains_key(&id)
+    }
+
+    /// Commits the staged version of object `id` and returns its new epoch.
+    ///
+    /// Issues one `drain()` (making the staged payload durable), then writes
+    /// the object's directory entry and the descriptor counters inside one
+    /// undo-log transaction — the per-object commit record. After an error
+    /// the handle's cached counters may be stale; reopen the store (running
+    /// pool recovery) before further writes, as the cluster layer does.
+    pub fn commit(&mut self, id: u64) -> Result<u64> {
+        self.check_id(id)?;
+        let crash = self.crash.take();
+        let staged = self
+            .staged
+            .get(&id)
+            .copied()
+            .ok_or(PmemError::ObjectStore("commit without a staged put"))?;
+        let previous = self.read_entry(id)?;
+        let epoch = previous.map_or(0, |e| e.epoch) + 1;
+        // The staged payload must be durable before any commit record can
+        // name it: one drain for the flushes the put fan-out issued.
+        self.pool.drain();
+        let entry = Entry {
+            epoch,
+            len: staged.len,
+            value_hash: staged.hash,
+        }
+        .to_bytes(id);
+        match crash {
+            Some(c) if c.phase == ObjectPhase::EntryCommit => {
+                self.pool.set_crash_point(Some(c.point));
+            }
+            Some(c) if c.phase == ObjectPhase::Recovery => {
+                // Strand the log mid-commit; the caller's next recover() run
+                // then hits the armed point (re-armed below).
+                self.pool.set_crash_point(Some(CrashPoint::BeforeCommit));
+            }
+            _ => {}
+        }
+        let entry_off = self.entry_off(id);
+        let seq = self.commit_seq + 1;
+        let live = self.live + u64::from(previous.is_none());
+        let result = self.pool.run_tx(|tx| {
+            tx.write(entry_off, &entry)?;
+            tx.write(self.base + COMMIT_SEQ_AT, &seq.to_le_bytes())?;
+            tx.write(self.base + LIVE_AT, &live.to_le_bytes())
+        });
+        match result {
+            Ok(()) => {
+                self.commit_seq = seq;
+                self.live = live;
+                self.staged.remove(&id);
+                Ok(epoch)
+            }
+            Err(e) => {
+                if let Some(c) = crash {
+                    if c.phase == ObjectPhase::Recovery && e.is_injected_crash() {
+                        self.pool.set_crash_point(Some(c.point));
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Stages and commits `value` as the next version of object `id`.
+    pub fn put_commit(&mut self, id: u64, value: &[u8]) -> Result<u64> {
+        self.put(id, value)?;
+        self.commit(id)
+    }
+
+    /// Deletes object `id`: frees its directory entry inside one undo-log
+    /// transaction. Any staged put for the id is discarded.
+    pub fn delete(&mut self, id: u64) -> Result<()> {
+        self.check_id(id)?;
+        if self.read_entry(id)?.is_none() {
+            return Err(PmemError::NoSuchObject(id));
+        }
+        let entry_off = self.entry_off(id);
+        let seq = self.commit_seq + 1;
+        let live = self.live - 1;
+        let zeros = [0u8; ENTRY_SIZE as usize];
+        self.pool.run_tx(|tx| {
+            tx.write(entry_off, &zeros)?;
+            tx.write(self.base + COMMIT_SEQ_AT, &seq.to_le_bytes())?;
+            tx.write(self.base + LIVE_AT, &live.to_le_bytes())
+        })?;
+        self.commit_seq = seq;
+        self.live = live;
+        self.staged.remove(&id);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ read
+
+    /// Whether object `id` currently holds a committed version.
+    pub fn contains(&self, id: u64) -> Result<bool> {
+        self.check_id(id)?;
+        Ok(self.read_entry(id)?.is_some())
+    }
+
+    /// The committed epoch of object `id`.
+    pub fn committed_version(&self, id: u64) -> Result<u64> {
+        self.check_id(id)?;
+        self.read_entry(id)?
+            .map(|e| e.epoch)
+            .ok_or(PmemError::NoSuchObject(id))
+    }
+
+    /// Reads the committed version of object `id`, validating the directory
+    /// entry's checksum and the payload's content hash — a reader gets the
+    /// exact committed bytes or a typed error, never a torn mix.
+    pub fn get(&self, id: u64) -> Result<Vec<u8>> {
+        self.check_id(id)?;
+        let entry = self.read_entry(id)?.ok_or(PmemError::NoSuchObject(id))?;
+        if entry.len > self.value_len {
+            return Err(PmemError::ObjectStore("directory entry length corrupt"));
+        }
+        let mut value = vec![0u8; entry.len as usize];
+        self.pool
+            .read(self.slot_off(id, Self::slot_for(entry.epoch)), &mut value)?;
+        if fnv1a(&value) != entry.value_hash {
+            return Err(PmemError::ObjectStore(
+                "payload bytes do not match the committed content hash",
+            ));
+        }
+        Ok(value)
+    }
+
+    // ---------------------------------------------------------------- verify
+
+    /// Full-directory audit: validates every live entry and its payload,
+    /// recounts the population and cross-checks the descriptor counters.
+    /// O(capacity) — a test/recovery aid, not a hot-path call.
+    pub fn verify(&self) -> Result<StoreCheck> {
+        let mut live = 0u64;
+        let mut max_epoch = 0u64;
+        for id in 0..self.capacity {
+            if let Some(entry) = self.read_entry(id)? {
+                self.get(id)?;
+                live += 1;
+                max_epoch = max_epoch.max(entry.epoch);
+            }
+        }
+        if live != self.live {
+            return Err(PmemError::ObjectStore(
+                "descriptor live counter disagrees with the directory",
+            ));
+        }
+        Ok(StoreCheck {
+            live,
+            free: self.capacity - live,
+            max_epoch,
+        })
+    }
+
+    /// Ids of every object holding a committed version (O(capacity) scan).
+    pub fn live_ids(&self) -> Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        for id in 0..self.capacity {
+            if self.read_entry(id)?.is_some() {
+                ids.push(id);
+            }
+        }
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::VolatileBackend;
+
+    fn pool_pair(capacity: u64, value_len: u64) -> (PmemPool, VolatileBackend) {
+        let backend =
+            VolatileBackend::new_persistent(ObjectStore::required_pool_size(capacity, value_len));
+        let pool = PmemPool::create_with_backend(Arc::new(backend.clone()), "objects").unwrap();
+        (pool, backend)
+    }
+
+    fn value_for(id: u64, epoch: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (id as u8).wrapping_mul(31) ^ (epoch as u8).wrapping_mul(7) ^ i as u8)
+            .collect()
+    }
+
+    #[test]
+    fn put_commit_get_roundtrip_and_versioning() {
+        let (pool, _backend) = pool_pair(64, 128);
+        let mut store = ObjectStore::format(&pool, 64, 128).unwrap();
+        assert_eq!(store.live(), 0);
+        assert!(matches!(store.get(3), Err(PmemError::NoSuchObject(3))));
+
+        let v1 = value_for(3, 1, 100);
+        assert_eq!(store.put_commit(3, &v1).unwrap(), 1);
+        assert_eq!(store.get(3).unwrap(), v1);
+        assert_eq!(store.committed_version(3).unwrap(), 1);
+        assert_eq!(store.live(), 1);
+
+        // A staged put is invisible until commit.
+        let v2 = value_for(3, 2, 80);
+        store.put(3, &v2).unwrap();
+        assert!(store.has_staged(3));
+        assert_eq!(store.get(3).unwrap(), v1);
+        assert_eq!(store.commit(3).unwrap(), 2);
+        assert_eq!(store.get(3).unwrap(), v2);
+        assert_eq!(store.commit_seq(), 2);
+    }
+
+    #[test]
+    fn typed_errors_for_misuse() {
+        let (pool, _backend) = pool_pair(8, 32);
+        let mut store = ObjectStore::format(&pool, 8, 32).unwrap();
+        assert!(matches!(
+            store.put(8, b"x"),
+            Err(PmemError::ObjectStore("object id beyond store capacity"))
+        ));
+        assert!(matches!(
+            store.put(0, &[0u8; 33]),
+            Err(PmemError::ObjectStore(_))
+        ));
+        assert!(matches!(
+            store.commit(0),
+            Err(PmemError::ObjectStore("commit without a staged put"))
+        ));
+        assert!(matches!(store.delete(0), Err(PmemError::NoSuchObject(0))));
+    }
+
+    #[test]
+    fn delete_frees_and_epochs_restart() {
+        let (pool, _backend) = pool_pair(8, 32);
+        let mut store = ObjectStore::format(&pool, 8, 32).unwrap();
+        store.put_commit(5, b"alpha").unwrap();
+        store.put_commit(5, b"beta").unwrap();
+        assert_eq!(store.committed_version(5).unwrap(), 2);
+        store.delete(5).unwrap();
+        assert_eq!(store.live(), 0);
+        assert!(matches!(store.get(5), Err(PmemError::NoSuchObject(5))));
+        // Re-creating the object starts a fresh version history.
+        assert_eq!(store.put_commit(5, b"gamma").unwrap(), 1);
+        assert_eq!(store.get(5).unwrap(), b"gamma");
+        let check = store.verify().unwrap();
+        assert_eq!(check.live, 1);
+        assert_eq!(check.free, 7);
+    }
+
+    #[test]
+    fn survives_reopen_with_recovery() {
+        let (pool, backend) = pool_pair(16, 64);
+        let mut store = ObjectStore::format(&pool, 16, 64).unwrap();
+        for id in 0..10u64 {
+            store.put_commit(id, &value_for(id, 1, 48)).unwrap();
+        }
+        pool.set_root(store.oid(), ObjectStore::region_size(16, 64))
+            .unwrap();
+        drop(store);
+        drop(pool);
+
+        let pool = PmemPool::open_with_backend(Arc::new(backend.clone()), "objects").unwrap();
+        let store = ObjectStore::open_root(&pool).unwrap();
+        assert_eq!(store.live(), 10);
+        for id in 0..10u64 {
+            assert_eq!(store.get(id).unwrap(), value_for(id, 1, 48));
+        }
+        store.verify().unwrap();
+    }
+
+    #[test]
+    fn injected_slot_write_crash_leaves_committed_version_intact() {
+        let (pool, _backend) = pool_pair(8, 64);
+        let mut store = ObjectStore::format(&pool, 8, 64).unwrap();
+        let v1 = value_for(2, 1, 64);
+        store.put_commit(2, &v1).unwrap();
+        for point in CrashPoint::ALL {
+            store.set_crash(Some(ObjectCrash {
+                phase: ObjectPhase::SlotWrite,
+                point,
+            }));
+            let err = store.put(2, &value_for(2, 9, 64)).unwrap_err();
+            assert!(err.is_injected_crash());
+            assert_eq!(store.get(2).unwrap(), v1, "torn at {point:?}");
+        }
+    }
+
+    #[test]
+    fn injected_commit_crash_rolls_back_or_commits_atomically() {
+        for point in CrashPoint::ALL {
+            let (pool, backend) = pool_pair(8, 64);
+            let mut store = ObjectStore::format(&pool, 8, 64).unwrap();
+            pool.set_root(store.oid(), ObjectStore::region_size(8, 64))
+                .unwrap();
+            let v1 = value_for(4, 1, 64);
+            store.put_commit(4, &v1).unwrap();
+            let v2 = value_for(4, 2, 64);
+            store.put(4, &v2).unwrap();
+            store.set_crash(Some(ObjectCrash {
+                phase: ObjectPhase::EntryCommit,
+                point,
+            }));
+            let outcome = store.commit(4);
+            drop(store);
+            drop(pool);
+            let pool = PmemPool::open_with_backend(Arc::new(backend.clone()), "objects").unwrap();
+            let store = ObjectStore::open_root(&pool).unwrap();
+            let bytes = store.get(4).unwrap();
+            match outcome {
+                // DuringRecovery never fires inside a transaction.
+                Ok(epoch) => {
+                    assert_eq!(epoch, 2);
+                    assert_eq!(bytes, v2);
+                }
+                Err(e) => {
+                    assert!(e.is_injected_crash());
+                    // Atomic: either rolled back to v1 or fully committed v2.
+                    if store.committed_version(4).unwrap() == 2 {
+                        assert_eq!(bytes, v2);
+                    } else {
+                        assert_eq!(bytes, v1);
+                    }
+                }
+            }
+            store.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn region_sizing_is_consistent() {
+        assert_eq!(
+            ObjectStore::region_size(10, 100),
+            DESC_SIZE + 10 * ENTRY_SIZE + 2 * 10 * 100
+        );
+        assert!(ObjectStore::required_pool_size(10, 100) > ObjectStore::region_size(10, 100));
+    }
+}

@@ -1,0 +1,211 @@
+//! The exhaustive object-store crash matrix: every [`ObjectPhase`] ×
+//! [`CrashPoint`] × recovering host, deterministically enumerated (no
+//! sampling), over a *shared* far-memory window.
+//!
+//! Each case builds a fresh pooled window, has host 0 format an
+//! [`ObjectStore`], commit a baseline version of every object and publish,
+//! then injects the case's tear into an update of one target object. The
+//! writer host "dies"; the case then reboots — either the same host
+//! reattaching, or a spare host acquiring the window — which reruns undo-log
+//! recovery over the shared bytes. The restored target must be **bit-exact**
+//! for a committed version (the baseline, or the attempt when the commit
+//! record landed first), every bystander object must be untouched, and the
+//! directory must conserve. Never a torn mixture, on any host.
+//!
+//! The phase picks the pipeline stage (staging-slot write, directory-entry
+//! commit, or the recovery pass itself); the crash point picks the
+//! sub-position within it. See `object.rs` module docs for the mapping.
+
+use pmem::{CrashPoint, ObjectCrash, ObjectPhase, ObjectStore, PmemPool, SharedRegionBackend};
+use std::sync::Arc;
+
+const CAPACITY: u64 = 8;
+const VALUE_LEN: u64 = 64;
+const TARGET: u64 = 3;
+const LAYOUT: &str = "object-matrix";
+const WINDOW: u64 = 4 * 1024 * 1024;
+
+/// Deterministic payload for object `id` at committed epoch `epoch`.
+fn value_for(id: u64, epoch: u64) -> Vec<u8> {
+    (0..VALUE_LEN)
+        .map(|i| (i.wrapping_mul(37) ^ id.wrapping_mul(131) ^ epoch.wrapping_mul(17)) as u8)
+        .collect()
+}
+
+/// Whether the injected tear is expected to surface as an error from the
+/// put/commit attempt.
+fn expect_crash(phase: ObjectPhase, point: CrashPoint) -> bool {
+    match phase {
+        // Slot-write injections fire at every sub-position; Recovery-phase
+        // cells strand the commit record at `BeforeCommit` first.
+        ObjectPhase::SlotWrite | ObjectPhase::Recovery => true,
+        // `DuringRecovery` never fires inside a transaction: that cell is
+        // the control — a clean commit.
+        ObjectPhase::EntryCommit => point != CrashPoint::DuringRecovery,
+    }
+}
+
+/// The epoch the post-reboot open must read for the target object.
+fn expected_epoch(phase: ObjectPhase, point: CrashPoint, baseline: u64, attempt: u64) -> u64 {
+    match phase {
+        // The torn staging slot is invisible; the committed entry still
+        // names the baseline.
+        ObjectPhase::SlotWrite => baseline,
+        ObjectPhase::EntryCommit => match point {
+            // The undo log rolls the commit record back on reopen.
+            CrashPoint::AfterLogAppend | CrashPoint::BeforeCommit => baseline,
+            // The commit record cleared the log before the crash: durable.
+            CrashPoint::AfterCommit => attempt,
+            // Control cell: no crash, clean commit.
+            CrashPoint::DuringRecovery => attempt,
+        },
+        // The commit record was stranded mid-transaction; recovery (however
+        // many passes it takes) rolls it back.
+        ObjectPhase::Recovery => baseline,
+    }
+}
+
+/// Runs one matrix case end to end; returns the epoch the reboot restored
+/// for the target object.
+fn run_case(phase: ObjectPhase, point: CrashPoint, reboot_host: usize) -> u64 {
+    let case = format!("{phase:?} × {point:?} × host{reboot_host}");
+    let device = Arc::new(cxl::Type3Device::new(
+        "pooled-expander",
+        8 * 1024 * 1024,
+        cxl::LinkConfig::gen5_x16(),
+    ));
+    let window = Arc::new(
+        cxl::SharedRegion::new(device, 0, WINDOW, cxl::CoherenceMode::SoftwareManaged).unwrap(),
+    );
+
+    // Host 0 formats the store, commits a baseline version of every object,
+    // bumps the target once more (so its slots have both parities in play)
+    // and publishes.
+    let baseline = 2u64;
+    let attempt = baseline + 1;
+    {
+        let backend = SharedRegionBackend::new(Arc::clone(&window), 0);
+        let pool = PmemPool::create_with_backend(Arc::new(backend), LAYOUT).unwrap();
+        let mut store = ObjectStore::format(&pool, CAPACITY, VALUE_LEN).unwrap();
+        pool.set_root(store.oid(), ObjectStore::region_size(CAPACITY, VALUE_LEN))
+            .unwrap();
+        for id in 0..CAPACITY {
+            store.put_commit(id, &value_for(id, 1)).unwrap();
+        }
+        store
+            .put_commit(TARGET, &value_for(TARGET, baseline))
+            .unwrap();
+        window.publish(0).unwrap();
+
+        // The tearing attempt on the target object.
+        store.set_crash(Some(ObjectCrash { phase, point }));
+        let result = match phase {
+            ObjectPhase::SlotWrite => store.put(TARGET, &value_for(TARGET, attempt)).map(|_| 0),
+            _ => {
+                store.put(TARGET, &value_for(TARGET, attempt)).unwrap();
+                store.commit(TARGET)
+            }
+        };
+        if expect_crash(phase, point) {
+            let err = result.expect_err(&case);
+            assert!(err.is_injected_crash(), "{case}: {err}");
+        } else {
+            assert_eq!(result.unwrap(), attempt, "{case}");
+        }
+
+        // Recovery-phase cases additionally crash (or complete) an explicit
+        // recovery pass before the reboot: only `DuringRecovery` fires there.
+        if phase == ObjectPhase::Recovery {
+            assert!(
+                pool.tx_log_active().unwrap(),
+                "{case}: log must be stranded"
+            );
+            let recovered = pool.recover();
+            if point == CrashPoint::DuringRecovery {
+                assert!(recovered.unwrap_err().is_injected_crash(), "{case}");
+                assert!(
+                    pool.tx_log_active().unwrap(),
+                    "{case}: interrupted recovery leaves the log active"
+                );
+            } else {
+                assert!(recovered.unwrap(), "{case}: recovery rolls the commit back");
+            }
+        }
+    } // the writer host dies: its pool handle and volatile state are gone
+
+    // "Reboot": reattach over the same shared bytes — as the same host or as
+    // a spare host acquiring the window. Open replays the undo log.
+    let backend = SharedRegionBackend::new(Arc::clone(&window), reboot_host);
+    if reboot_host != 0 {
+        window.acquire(reboot_host).unwrap();
+    }
+    let pool = PmemPool::open_with_backend(Arc::new(backend), LAYOUT).unwrap();
+    let store = ObjectStore::open_root(&pool).unwrap();
+
+    let expected = expected_epoch(phase, point, baseline, attempt);
+    assert_eq!(
+        store.get(TARGET).unwrap(),
+        value_for(TARGET, expected),
+        "{case}: the target must restore a committed version bit-exact"
+    );
+    assert_eq!(store.committed_version(TARGET).unwrap(), expected, "{case}");
+    for id in (0..CAPACITY).filter(|&id| id != TARGET) {
+        assert_eq!(
+            store.get(id).unwrap(),
+            value_for(id, 1),
+            "{case}: bystander object {id} must be untouched"
+        );
+    }
+    let check = store.verify().unwrap();
+    assert_eq!(check.live, CAPACITY, "{case}: every object stays live");
+    assert_eq!(
+        check.live + check.free,
+        CAPACITY,
+        "{case}: directory conservation"
+    );
+    expected
+}
+
+#[test]
+fn object_crash_matrix_is_exhaustive_and_never_restores_torn_state() {
+    let mut cells = 0usize;
+    let mut rolled_back = 0usize;
+    let mut committed = 0usize;
+    for phase in ObjectPhase::ALL {
+        for point in CrashPoint::ALL {
+            for reboot_host in [0usize, 1] {
+                let restored = run_case(phase, point, reboot_host);
+                cells += 1;
+                if restored == 2 {
+                    rolled_back += 1;
+                } else {
+                    committed += 1;
+                }
+            }
+        }
+    }
+    // Counted coverage: the matrix must not silently shrink when a variant
+    // is added or an arm is skipped.
+    assert_eq!(
+        cells,
+        ObjectPhase::ALL.len() * CrashPoint::ALL.len() * 2,
+        "every phase × point × host cell must run"
+    );
+    // Exactly the two landed-commit points (per host) keep the attempt; every
+    // other cell rolls back to the baseline.
+    assert_eq!(committed, 4);
+    assert_eq!(rolled_back, cells - 4);
+}
+
+#[test]
+fn object_crash_matrix_cases_are_deterministic() {
+    for phase in ObjectPhase::ALL {
+        for point in CrashPoint::ALL {
+            assert_eq!(
+                run_case(phase, point, 1),
+                run_case(phase, point, 1),
+                "{phase:?} × {point:?} must restore the same epoch every run"
+            );
+        }
+    }
+}

@@ -175,6 +175,7 @@ impl<'rt> SimulatedStream<'rt> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxl_pmem::RuntimeBuilder;
     use numa::AffinityPolicy;
 
     fn placements(runtime: &CxlPmemRuntime, max: usize) -> Vec<ThreadPlacement> {
@@ -193,7 +194,7 @@ mod tests {
         // modes. Copy/Scale and Add/Triad submit byte-identical traffic, so
         // half the grid must come from the memoisation layer, and cached
         // verdicts must be bit-identical to the uncached engine path.
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let stream = SimulatedStream::paper(&runtime);
         let placements = placements(&runtime, 10);
         let mut points = Vec::new();
@@ -230,7 +231,7 @@ mod tests {
         // The runner hands out the runtime-owned persistent pool, so the
         // functional-correctness leg and the simulated-performance leg share
         // one set of parked workers.
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let stream = SimulatedStream::new(&runtime, StreamConfig::small(5_000));
         let placement = AffinityPolicy::SingleSocket(0)
             .place(runtime.topology(), 4)
@@ -251,7 +252,7 @@ mod tests {
 
     #[test]
     fn local_appdirect_saturates_in_the_paper_band() {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let stream = SimulatedStream::paper(&runtime);
         let placement = AffinityPolicy::SingleSocket(0)
             .place(runtime.topology(), 10)
@@ -272,7 +273,7 @@ mod tests {
 
     #[test]
     fn cxl_appdirect_is_roughly_half_of_remote_ddr5() {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let stream = SimulatedStream::paper(&runtime);
         let placement = AffinityPolicy::SingleSocket(0)
             .place(runtime.topology(), 10)
@@ -289,7 +290,7 @@ mod tests {
 
     #[test]
     fn sweep_is_monotonic_until_saturation() {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let stream = SimulatedStream::paper(&runtime);
         let placements = placements(&runtime, 10);
         let points = stream
@@ -306,7 +307,7 @@ mod tests {
 
     #[test]
     fn add_and_triad_move_more_bytes_than_copy_and_scale() {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let stream = SimulatedStream::new(&runtime, StreamConfig::small(1_000_000));
         let placement = AffinityPolicy::SingleSocket(0)
             .place(runtime.topology(), 4)

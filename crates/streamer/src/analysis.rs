@@ -12,7 +12,7 @@
 //! [`Analysis::compute`] reproduces each number and records whether it falls
 //! inside the band the paper reports.
 
-use cxl_pmem::{AccessMode, CxlPmemRuntime, Result as RuntimeResult};
+use cxl_pmem::{AccessMode, Result as RuntimeResult, RuntimeBuilder};
 use numa::AffinityPolicy;
 use stream_bench::{Kernel, SimulatedStream, StreamConfig};
 
@@ -39,7 +39,7 @@ pub struct Analysis {
 impl Analysis {
     /// Recomputes every §4 claim with 10-thread saturated Triad runs.
     pub fn compute() -> RuntimeResult<Self> {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let stream = SimulatedStream::new(&runtime, StreamConfig::paper());
         let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 10)?;
         let sim = |node, mode| -> RuntimeResult<f64> {

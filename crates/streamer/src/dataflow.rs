@@ -96,10 +96,11 @@ pub fn render_migration_overview() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxl_pmem::RuntimeBuilder;
 
     #[test]
     fn topology_rendering_mentions_the_expander_and_paths() {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let text = render_topology(&runtime);
         assert!(text.contains("node 2"));
         assert!(text.contains("PCIe5x16"));
@@ -109,7 +110,7 @@ mod tests {
 
     #[test]
     fn setup2_rendering_has_no_cxl() {
-        let runtime = CxlPmemRuntime::setup2();
+        let runtime = RuntimeBuilder::setup2().build();
         let text = render_topology(&runtime);
         assert!(!text.contains("CXL endpoint"));
         assert!(text.contains("UPI"));

@@ -34,7 +34,7 @@
 use crate::tables::Table;
 use cxl_pmem::admission::{AdmissionController, AdmissionError, ClassConfig, Decision, QosClass};
 use cxl_pmem::cluster::CoherenceMode;
-use cxl_pmem::{ClusterError, CxlPmemRuntime};
+use cxl_pmem::{ClusterError, RuntimeBuilder};
 use memsim::PortContention;
 
 const MIB: u64 = 1024 * 1024;
@@ -292,7 +292,7 @@ fn concurrent_serving_conserves() -> Result<bool, ClusterError> {
     const DATA: u64 = 64 * 1024;
     const CHUNK: u64 = 4096;
 
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let cluster = runtime.disaggregated_cluster(CARDS, CoherenceMode::SoftwareManaged);
     let total = cluster.total_capacity();
     let conserved = AtomicBool::new(true);
@@ -357,7 +357,7 @@ fn concurrent_serving_conserves() -> Result<bool, ClusterError> {
 /// functional concurrent-serving leg, then the deterministic tick simulation
 /// of the stream population through admission control and port contention.
 pub fn run_fleet() -> Result<FleetReport, ClusterError> {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let port: PortContention = runtime
         .engine()
         .port_contention(2)

@@ -7,7 +7,7 @@
 //! CXL-attached DDR4 (×); the annotation `pmem#N` / `numa#N` gives the access
 //! mode and the target node.
 
-use cxl_pmem::{AccessMode, CxlPmemRuntime};
+use cxl_pmem::{AccessMode, CxlPmemRuntime, RuntimeBuilder};
 use numa::{AffinityPolicy, NodeId};
 
 /// The five test groups (sub-figures (a)–(e) of each figure).
@@ -281,8 +281,8 @@ impl Trend {
     /// Instantiates the runtime this trend runs on.
     pub fn runtime(&self) -> CxlPmemRuntime {
         match self.setup {
-            TrendSetup::Setup1 => CxlPmemRuntime::setup1(),
-            TrendSetup::Setup2 => CxlPmemRuntime::setup2(),
+            TrendSetup::Setup1 => RuntimeBuilder::setup1().build(),
+            TrendSetup::Setup2 => RuntimeBuilder::setup2().build(),
         }
     }
 }

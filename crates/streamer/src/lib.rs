@@ -25,6 +25,11 @@
 //!   checkpoint/restore streams through QoS admission control over the
 //!   contended pool, reporting p50/p99/p999 per class into
 //!   `BENCH_fleet.json`.
+//! * [`objects`] — the versioned-object-store scenario: a KV-style mixed
+//!   reader/writer workload over shared far memory — ≥ 100k epoch-versioned
+//!   objects, cross-host tear matrix, publish/acquire coherence discipline,
+//!   and per-op-class p50/p99 through QoS admission into
+//!   `BENCH_objects.json`.
 //! * [`topo`] — the topology-ingestion scenario group: every reference
 //!   `.topo` description ingested end-to-end (text → device graph → runtime →
 //!   traffic), plus the silicon-validated calibration table CI gates through
@@ -55,6 +60,7 @@ pub mod dataflow;
 pub mod figures;
 pub mod fleet;
 pub mod groups;
+pub mod objects;
 pub mod scenarios;
 pub mod tables;
 pub mod tiering;
@@ -64,6 +70,7 @@ pub use analysis::Analysis;
 pub use figures::{FigureData, TrendSeries};
 pub use fleet::{fleet_table, ClassStats, FleetReport};
 pub use groups::{TestGroup, Trend};
+pub use objects::{objects_table, ObjectsConfig, ObjectsReport, OpClassStats};
 pub use scenarios::{disaggregation_table, RestartReport, RestartScenario};
 pub use tables::{headline_table, table1, table2};
 pub use tiering::{tiering_table, TieringPoint, TieringReport};

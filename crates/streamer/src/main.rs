@@ -3,8 +3,8 @@
 //! ```text
 //! streamer figure --kernel scale [--group 1b] [--csv] [--out DIR]
 //! streamer group  1a|1b|1c|2a|2b [--kernel triad]
-//! streamer table  1|2|headline|disaggregation|tiering|fleet|topology
-//! streamer scenario restart|tiering|fleet|topology
+//! streamer table  1|2|headline|disaggregation|tiering|fleet|objects|topology
+//! streamer scenario restart|tiering|fleet|objects|topology
 //! streamer analysis
 //! streamer topology [--setup 1|2|dcpmm]
 //! streamer all --out DIR
@@ -34,7 +34,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation|tiering|fleet|topology>\n  streamer scenario <restart|tiering|fleet|topology>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
+    "usage:\n  streamer figure --kernel <copy|scale|add|triad> [--group <1a|1b|1c|2a|2b>] [--csv] [--out DIR]\n  streamer group <1a|1b|1c|2a|2b> [--kernel <name>]\n  streamer table <1|2|headline|disaggregation|tiering|fleet|objects|topology>\n  streamer scenario <restart|tiering|fleet|objects|topology>\n  streamer analysis\n  streamer topology [--setup <1|2|dcpmm>]\n  streamer all --out DIR"
 }
 
 /// Parses `--key value` and `--flag` style options.
@@ -156,7 +156,7 @@ fn cmd_table(positional: &[String]) -> Result<(), String> {
     let which = positional.first().map(String::as_str).unwrap_or("headline");
     let table = match which {
         "1" => {
-            let runtime = cxl_pmem::CxlPmemRuntime::setup1();
+            let runtime = cxl_pmem::RuntimeBuilder::setup1().build();
             table1(&runtime).map_err(|e| e.to_string())?
         }
         "2" => table2().map_err(|e| e.to_string())?,
@@ -164,10 +164,11 @@ fn cmd_table(positional: &[String]) -> Result<(), String> {
         "disaggregation" => disaggregation_table().map_err(|e| e.to_string())?,
         "tiering" => streamer::tiering_table().map_err(|e| e.to_string())?,
         "fleet" => streamer::fleet_table().map_err(|e| e.to_string())?,
+        "objects" => streamer::objects_table().map_err(|e| e.to_string())?,
         "topology" => streamer::topology_table().map_err(|e| e.to_string())?,
         other => {
             return Err(format!(
-                "unknown table '{other}' (use 1, 2, headline, disaggregation, tiering, fleet or topology)"
+                "unknown table '{other}' (use 1, 2, headline, disaggregation, tiering, fleet, objects or topology)"
             ))
         }
     };
@@ -217,6 +218,23 @@ fn cmd_scenario(positional: &[String]) -> Result<(), String> {
                 Err("the fleet-serving gate failed — see the table above".to_string())
             }
         }
+        "objects" => {
+            let report = streamer::objects::run_objects(&streamer::objects::ObjectsConfig::full())
+                .map_err(|e| e.to_string())?;
+            println!("{}", streamer::objects::render_table(&report).to_markdown());
+            let json = streamer::objects::report_json(&report);
+            std::fs::write("BENCH_objects.json", &json).map_err(|e| e.to_string())?;
+            println!("wrote BENCH_objects.json");
+            if report.all_hold() {
+                println!(
+                    "object store holds: {} objects on {} hosts, {} tear cells recovered bit-exact, scan overload rejected",
+                    report.objects, report.hosts, report.crash_cells
+                );
+                Ok(())
+            } else {
+                Err("the object-store gate failed — see the table above".to_string())
+            }
+        }
         "topology" => {
             let report = streamer::topo::run_topologies().map_err(|e| e.to_string())?;
             println!("{}", streamer::topo::render_table(&report).to_markdown());
@@ -237,7 +255,7 @@ fn cmd_scenario(positional: &[String]) -> Result<(), String> {
             }
         }
         other => Err(format!(
-            "unknown scenario '{other}' (use restart, tiering, fleet or topology)"
+            "unknown scenario '{other}' (use restart, tiering, fleet, objects or topology)"
         )),
     }
 }
@@ -255,9 +273,9 @@ fn cmd_analysis() -> Result<(), String> {
 
 fn cmd_topology(options: &HashMap<String, String>) -> Result<(), String> {
     let runtime = match options.get("setup").map(String::as_str) {
-        None | Some("1") => cxl_pmem::CxlPmemRuntime::setup1(),
-        Some("2") => cxl_pmem::CxlPmemRuntime::setup2(),
-        Some("dcpmm") => cxl_pmem::CxlPmemRuntime::dcpmm_baseline(),
+        None | Some("1") => cxl_pmem::RuntimeBuilder::setup1().build(),
+        Some("2") => cxl_pmem::RuntimeBuilder::setup2().build(),
+        Some("dcpmm") => cxl_pmem::RuntimeBuilder::dcpmm_baseline().build(),
         Some(other) => return Err(format!("unknown setup '{other}'")),
     };
     println!("{}", dataflow::render_migration_overview());
@@ -296,7 +314,7 @@ fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
             )?;
         }
     }
-    let runtime = cxl_pmem::CxlPmemRuntime::setup1();
+    let runtime = cxl_pmem::RuntimeBuilder::setup1().build();
     emit(
         Some(&out),
         "table1.md",
@@ -330,6 +348,13 @@ fn cmd_all(options: &HashMap<String, String>) -> Result<(), String> {
         Some(&out),
         "fleet.md",
         &streamer::fleet_table()
+            .map_err(|e| e.to_string())?
+            .to_markdown(),
+    )?;
+    emit(
+        Some(&out),
+        "objects.md",
+        &streamer::objects_table()
             .map_err(|e| e.to_string())?
             .to_markdown(),
     )?;

@@ -12,7 +12,7 @@ use crate::tables::Table;
 use cxl_pmem::cluster::{
     CheckpointCrash, CheckpointPhase, CoherenceMode, CrashPoint, SerialExecutor,
 };
-use cxl_pmem::{ClusterError, CxlPmemRuntime, DisaggregatedCluster};
+use cxl_pmem::{ClusterError, CxlPmemRuntime, DisaggregatedCluster, RuntimeBuilder};
 
 /// Snapshot payload each scenario checkpoints (bytes).
 const DATA_LEN: u64 = 128 * 1024;
@@ -203,7 +203,7 @@ fn run_scenario(
 
 /// Runs the whole scenario group on the paper's Setup #1 runtime.
 pub fn run_all() -> Result<RestartReport, ClusterError> {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let probe = cluster(&runtime, CoherenceMode::SoftwareManaged);
     let devices = probe.ports();
     let pooled_capacity_gib = probe.total_capacity() as f64 / (1u64 << 30) as f64;

@@ -1,6 +1,8 @@
 //! Table generation: Table 1, Table 2 and the headline DCPMM comparison.
 
-use cxl_pmem::{AccessMode, CxlPmemRuntime, ModeProperties, Result as RuntimeResult};
+use cxl_pmem::{
+    AccessMode, CxlPmemRuntime, ModeProperties, Result as RuntimeResult, RuntimeBuilder,
+};
 
 /// A rendered table: a title, column headers and string rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,8 +102,8 @@ pub fn table1(runtime: &CxlPmemRuntime) -> RuntimeResult<Table> {
 /// **Table 2** — CXL memory vs NVRAM (DCPMM) for disaggregated HPC, with the
 /// quantitative cells measured from the two machine models.
 pub fn table2() -> RuntimeResult<Table> {
-    let cxl_rt = CxlPmemRuntime::setup1();
-    let dcpmm_rt = CxlPmemRuntime::dcpmm_baseline();
+    let cxl_rt = RuntimeBuilder::setup1().build();
+    let dcpmm_rt = RuntimeBuilder::dcpmm_baseline().build();
     let cxl_bw = cxl_rt.peak_bandwidth_gbs(0, 2, AccessMode::MemoryMode)?;
     let dcpmm_bw = dcpmm_rt.peak_bandwidth_gbs(0, 2, AccessMode::MemoryMode)?;
     let cxl_link = cxl_rt
@@ -156,9 +158,9 @@ pub fn table2() -> RuntimeResult<Table> {
 /// DDR5, CXL-DDR4 (App-Direct and Memory-Mode), on-node DDR4 and published
 /// DCPMM numbers.
 pub fn headline_table() -> RuntimeResult<Table> {
-    let setup1 = CxlPmemRuntime::setup1();
-    let setup2 = CxlPmemRuntime::setup2();
-    let dcpmm = CxlPmemRuntime::dcpmm_baseline();
+    let setup1 = RuntimeBuilder::setup1().build();
+    let setup2 = RuntimeBuilder::setup2().build();
+    let dcpmm = RuntimeBuilder::dcpmm_baseline().build();
     let rows = vec![
         (
             "Local DDR5-4800 (App-Direct, PMDK)",
@@ -209,7 +211,7 @@ mod tests {
 
     #[test]
     fn table1_reports_nonvolatile_app_direct_and_volatile_memory_mode() {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let table = table1(&runtime).unwrap();
         assert_eq!(table.headers.len(), 3);
         assert_eq!(table.rows.len(), 5);

@@ -26,7 +26,7 @@ use cxl_pmem::tiering::{
     assignment_bandwidth, BandwidthAwarePolicy, ChunkHeat, HotGreedyPolicy, PlanContext,
     StaticSpillPolicy, TierAssignment, TierPlanner, TierShape,
 };
-use cxl_pmem::{CxlPmemRuntime, Result as RuntimeResult};
+use cxl_pmem::{Result as RuntimeResult, RuntimeBuilder};
 use numa::AffinityPolicy;
 
 /// 1 GiB, the sweep's chunk granularity.
@@ -94,7 +94,7 @@ fn heat_pattern(chunks: usize) -> Vec<ChunkHeat> {
 
 /// Runs the sweep on the paper's Setup #1 runtime.
 pub fn run_sweep() -> RuntimeResult<TieringReport> {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 10)?;
     let cpus = placement.cpus();
     let engine = runtime.engine();

@@ -3,7 +3,7 @@
 //!
 //! The sweep drives each `.topo` description shipped with `memsim`
 //! ([`memsim::topology::reference`]) through
-//! [`CxlPmemRuntime::from_description`]: the near tier is measured with the
+//! [`RuntimeBuilder::from_description`]: the near tier is measured with the
 //! paper's single-socket affinity, the far tier with threads spread across
 //! every socket (interleave windows aggregate cards, so saturating them takes
 //! both sockets' root ports), and machines exposing a CPU-less node also
@@ -14,7 +14,7 @@
 //! really widens the far tier over the single-card one.
 
 use crate::tables::Table;
-use cxl_pmem::{CxlPmemRuntime, Result as RuntimeResult, TierPolicy};
+use cxl_pmem::{Result as RuntimeResult, RuntimeBuilder, TierPolicy};
 use memsim::calibration::{calibration_json, run_calibration, CalibrationReport};
 use memsim::topology::reference;
 use numa::AffinityPolicy;
@@ -84,7 +84,7 @@ impl TopologyReport {
 
 /// Ingests and measures one reference description.
 fn run_point(name: &str, text: &str) -> RuntimeResult<TopologyPoint> {
-    let runtime = CxlPmemRuntime::from_description(text)?;
+    let runtime = RuntimeBuilder::from_description(text)?.build();
     let machine = runtime.machine();
     let nodes = runtime.topology().nodes().len();
     let sockets = runtime.topology().sockets().len();

@@ -18,11 +18,9 @@
 //!
 //! [`CheckpointRegion`]: streamer_repro::pmem::CheckpointRegion
 
-use streamer_repro::cxl_pmem::{CxlPmemRuntime, PooledChunkExecutor, TierPolicy};
-use streamer_repro::numa::AffinityPolicy;
-use streamer_repro::pmem::{
-    CheckpointCrash, CheckpointPhase, CheckpointRegion, Checkpointable, CrashPoint, PmemError,
-};
+use streamer_repro::cxl_pmem::PooledChunkExecutor;
+use streamer_repro::pmem::{Checkpointable, PmemError};
+use streamer_repro::prelude::*;
 
 const N: usize = 4096;
 const CHECKPOINT_EVERY: u64 = 10;
@@ -112,7 +110,7 @@ fn run_until(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     // A checkpoint region on the expander tier, plus the resident worker pool
     // that fans the dirty-chunk flushes out (one flush batch per worker, one
     // drain per checkpoint).

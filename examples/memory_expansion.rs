@@ -10,13 +10,12 @@ use streamer_repro::cxl_pmem::tiering::{
     assignment_bandwidth, BandwidthAwarePolicy, ChunkHeat, HotGreedyPolicy, PlanContext,
     StaticSpillPolicy, TierPlanner, TierShape,
 };
-use streamer_repro::cxl_pmem::{CxlPmemRuntime, TierPolicy};
-use streamer_repro::numa::AffinityPolicy;
+use streamer_repro::prelude::*;
 
 const GIB: u64 = 1024 * 1024 * 1024;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 10)?;
     let engine = runtime.engine();
 

@@ -3,15 +3,13 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use streamer_repro::cxl_pmem::{AccessMode, CxlPmemRuntime, TierPolicy};
-use streamer_repro::numa::AffinityPolicy;
 use streamer_repro::pmem::PersistentArray;
-use streamer_repro::stream::{Kernel, SimulatedStream, StreamConfig};
+use streamer_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Bring up the paper's Setup #1: dual Sapphire Rapids + a CXL-attached
     //    DDR4-1333 expander on an Agilex-7 FPGA, exposed as NUMA node 2.
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     println!("machine: {}", runtime.topology().name);
     println!(
         "CXL endpoint: {} ({:.1} GB/s effective, {:.0} ns fabric latency)",

@@ -13,10 +13,8 @@
 //!
 //! Run with: `cargo run --example shared_far_memory`
 
-use streamer_repro::cxl_pmem::cluster::{
-    CheckpointCrash, CheckpointPhase, CoherenceMode, CrashPoint, SerialExecutor,
-};
-use streamer_repro::cxl_pmem::{ClusterError, CxlPmemRuntime};
+use streamer_repro::cxl_pmem::cluster::SerialExecutor;
+use streamer_repro::prelude::*;
 
 const DATA_LEN: u64 = 256 * 1024;
 const CHUNK_LEN: u64 = 8 * 1024;
@@ -30,7 +28,7 @@ fn iteration_state(epoch: u64) -> Vec<u8> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A rack-level CXL 2.0 switch pooling two expander cards, owned by the
     // disaggregated cluster; segments use software-managed coherence.
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let cluster = runtime.disaggregated_cluster(2, CoherenceMode::SoftwareManaged);
     println!(
         "pool: {} devices, {} GiB total capacity",

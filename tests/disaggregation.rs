@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 use streamer_repro::cxl::{CoherenceMode, CxlSwitch, FpgaPrototype, SharedRegion};
-use streamer_repro::cxl_pmem::{CxlPmemRuntime, ExpansionPlan};
+use streamer_repro::cxl_pmem::{ExpansionPlan, RuntimeBuilder};
 use streamer_repro::numa::AffinityPolicy;
 
 const GIB: u64 = 1024 * 1024 * 1024;
@@ -126,7 +126,7 @@ fn two_hosts_coordinate_through_the_shared_far_memory_segment() {
 
 #[test]
 fn memory_mode_expansion_trades_bandwidth_for_capacity() {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let placement = runtime.place(&AffinityPolicy::SingleSocket(0), 10).unwrap();
     let fits_locally = ExpansionPlan::spill(runtime.machine(), 32 * GIB, &[0, 2]).unwrap();
     let spills = ExpansionPlan::spill(runtime.machine(), 76 * GIB, &[0, 2]).unwrap();
@@ -176,9 +176,10 @@ fn memory_mode_expansion_trades_bandwidth_for_capacity() {
 fn upgraded_prototype_narrows_the_gap_to_local_ddr5() {
     // The paper's §2.2/§6 upgrade path: DDR5-5600 and four channels behind the
     // same CXL link should bring the expander close to the UPI-remote tier.
-    let baseline = CxlPmemRuntime::setup1();
-    let upgraded =
-        CxlPmemRuntime::custom(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4), None);
+    let baseline = RuntimeBuilder::setup1().build();
+    let upgraded = RuntimeBuilder::new()
+        .machine(memsim::machines::sapphire_rapids_cxl_upgraded(4.2, 4))
+        .build();
     let placement = baseline
         .place(&AffinityPolicy::SingleSocket(0), 10)
         .unwrap();

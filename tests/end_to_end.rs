@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning the whole workspace: the harness
 //! reproduces the paper's qualitative results from the public API alone.
 
-use streamer_repro::cxl_pmem::{AccessMode, CxlPmemRuntime, TierPolicy};
+use streamer_repro::cxl_pmem::{AccessMode, RuntimeBuilder, TierPolicy};
 use streamer_repro::numa::AffinityPolicy;
 use streamer_repro::stream::{Kernel, PmemStream, SimulatedStream, StreamConfig, VolatileStream};
 use streamer_repro::streamer::figures::FigureData;
@@ -64,7 +64,7 @@ fn all_section4_claims_hold() {
 
 #[test]
 fn tables_render_and_are_internally_consistent() {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let t1 = table1(&runtime).unwrap();
     assert_eq!(t1.rows.len(), 5);
     let t2 = table2().unwrap();
@@ -78,7 +78,7 @@ fn tables_render_and_are_internally_consistent() {
 fn app_direct_pool_and_simulation_agree_on_the_cxl_tier() {
     // Provision a real pool on the expander and cross-check the simulated
     // bandwidth for the same tier/mode — both must identify node 2 / App-Direct.
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let pool = runtime
         .provision_pool(&TierPolicy::CxlExpander, "e2e", 16 * 1024 * 1024)
         .unwrap();
@@ -97,7 +97,7 @@ fn spread_and_close_affinity_differ_at_partial_occupancy() {
     // (all accesses local) while spread splits 2/2 (half the threads reach the
     // socket-0 pool over UPI) — before the DIMM saturates, the two placements
     // must produce different bandwidth, as the paper observes.
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let stream = SimulatedStream::new(&runtime, small());
     let close = runtime.place(&AffinityPolicy::close(), 4).unwrap();
     let spread = runtime.place(&AffinityPolicy::spread(), 4).unwrap();
@@ -121,7 +121,7 @@ fn one_runtime_pool_serves_volatile_and_pmem_streams_end_to_end() {
     // provisions ONE resident worker pool, and both the volatile and the
     // App-Direct (expander-backed) functional STREAM runs execute on those
     // same parked workers, across multiple run() calls, with correct results.
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let workers = runtime
         .worker_pool_for(&AffinityPolicy::SingleSocket(0), 6)
         .unwrap();

@@ -20,7 +20,7 @@ use streamer_repro::cxl_pmem::tiering::{
     BandwidthAwarePolicy, HotGreedyPolicy, MigrationCrash, MigrationPhase, StaticSpillPolicy,
     TierAssignment, TierPlanner, TieredRegion,
 };
-use streamer_repro::cxl_pmem::{CxlPmemRuntime, TierPolicy};
+use streamer_repro::cxl_pmem::{CxlPmemRuntime, RuntimeBuilder, TierPolicy};
 use streamer_repro::numa::AffinityPolicy;
 use streamer_repro::pmem::CrashPoint;
 
@@ -57,7 +57,7 @@ fn chunk_image(chunk: usize, tag: u8) -> Vec<u8> {
 
 #[test]
 fn runtime_loop_promotes_the_observed_hot_set() {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let mut region = region(&runtime, "tier-e2e");
     for c in 0..CHUNKS {
         region.write_chunk(c, &chunk_image(c, 0)).unwrap();
@@ -99,7 +99,7 @@ fn runtime_loop_promotes_the_observed_hot_set() {
 
 #[test]
 fn crash_mid_copy_on_the_pmem_tier_never_tears_a_chunk() {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let mut region = region(&runtime, "tier-crash-copy");
     for c in 0..CHUNKS {
         region.write_chunk(c, &chunk_image(c, 5)).unwrap();
@@ -138,7 +138,7 @@ fn crash_mid_copy_on_the_pmem_tier_never_tears_a_chunk() {
 
 #[test]
 fn crash_mid_commit_on_the_pmem_tier_rolls_back_and_recovers() {
-    let runtime = CxlPmemRuntime::setup1();
+    let runtime = RuntimeBuilder::setup1().build();
     let mut region = region(&runtime, "tier-crash-commit");
     for c in 0..CHUNKS {
         region.write_chunk(c, &chunk_image(c, 6)).unwrap();
@@ -184,7 +184,7 @@ proptest! {
     fn prop_random_access_and_rebalance_conserve_every_chunk(
         ops in proptest::collection::vec(any::<u64>(), 1..40),
     ) {
-        let runtime = CxlPmemRuntime::setup1();
+        let runtime = RuntimeBuilder::setup1().build();
         let mut region = region(&runtime, "tier-prop");
         let workers = runtime.worker_pool_for(&AffinityPolicy::close(), 4).unwrap();
         // Mirror of the last committed content per chunk.
