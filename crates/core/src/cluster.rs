@@ -624,8 +624,19 @@ impl HostSegment {
     /// Acquires the latest publication of the segment — the reader half of
     /// the software-coherence protocol, required before a restore on a host
     /// that did not write the data.
+    ///
+    /// If the acquire advances this host's view (another host published
+    /// since), the cached region handle is dropped: its committed-epoch
+    /// snapshot and incremental chunk-hash cache described the superseded
+    /// publication, so the next op reopens the pool and re-reads the
+    /// descriptor.
     pub fn acquire(&mut self) -> ClusterResult<u64> {
-        self.segment.region.acquire(self.host).map_err(Into::into)
+        let fresh = self.segment.region.is_up_to_date(self.host);
+        let version = self.segment.region.acquire(self.host)?;
+        if !fresh {
+            self.region = None;
+        }
+        Ok(version)
     }
 
     /// Enforces the read-side coherence discipline.
@@ -883,8 +894,20 @@ impl HostStore {
 
     /// Acquires the latest publication of the segment — the reader half of
     /// the software-coherence protocol.
+    ///
+    /// If the acquire advances this host's view (another host published
+    /// since), the cached store handle is dropped: its descriptor-counter
+    /// snapshot and staged puts described the superseded publication, so the
+    /// next op reopens the pool and re-reads the directory. A staged put
+    /// discarded this way surfaces as a typed `commit without a staged put`
+    /// error — stage it again against the refreshed view.
     pub fn acquire(&mut self) -> ClusterResult<u64> {
-        self.segment.region.acquire(self.host).map_err(Into::into)
+        let fresh = self.segment.region.is_up_to_date(self.host);
+        let version = self.segment.region.acquire(self.host)?;
+        if !fresh {
+            self.store = None;
+        }
+        Ok(version)
     }
 
     /// Reads the committed version of object `id`. Discipline first: a
@@ -937,6 +960,10 @@ impl HostStore {
     /// [`get`](Self::get) through the QoS front door: one slot's worth of
     /// [`QosClass::Restore`] (read-class) traffic at virtual time `now`.
     pub fn get_classed(&mut self, id: u64, now: f64) -> ClusterResult<Vec<u8>> {
+        // Discipline before the store is opened: opening runs undo-log
+        // recovery, which a stale or never-acquired host has no right to
+        // trigger just to size an admission request.
+        self.check_coherence()?;
         let bytes = {
             let store = self.ensure_store()?;
             store.value_len()
@@ -1199,6 +1226,87 @@ mod tests {
         a.acquire().unwrap();
         assert_eq!(a.get(3).unwrap(), b"hello from host 1");
         assert_eq!(a.verify().unwrap().live, 16);
+    }
+
+    #[test]
+    fn reacquire_refreshes_cached_store_state_across_hosts() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_store("sync", 64, 64).unwrap();
+        a.put_commit(0, b"a-0").unwrap();
+
+        // Host B commits a NEW object (live 1 → 2) and publishes; host A's
+        // cached descriptor snapshot is now superseded. Re-acquiring must
+        // refresh it so A's next commit extends the counters instead of
+        // permanently desyncing the descriptor.
+        let mut b = cluster.host(1).open_store("sync").unwrap();
+        b.acquire().unwrap();
+        b.put_commit(1, b"b-1").unwrap();
+        a.acquire().unwrap();
+        a.put_commit(2, b"a-2").unwrap();
+        assert_eq!(a.live().unwrap(), 3);
+        assert_eq!(a.verify().unwrap().live, 3);
+        b.acquire().unwrap();
+        assert_eq!(b.verify().unwrap().live, 3);
+
+        // Delete ping-pong across hosts stays exact down to zero — no
+        // live-counter underflow on the last delete.
+        b.delete(0).unwrap();
+        b.delete(1).unwrap();
+        a.acquire().unwrap();
+        a.delete(2).unwrap();
+        assert_eq!(a.live().unwrap(), 0);
+        a.verify().unwrap();
+    }
+
+    #[test]
+    fn staged_put_does_not_survive_a_cross_host_handoff() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_store("handoff", 32, 64).unwrap();
+        a.put_commit(5, b"epoch-1").unwrap();
+
+        // Host A stages epoch 2; host B (current view) commits epoch 2
+        // first, claiming the slot A's stage was written into.
+        a.put(5, b"staged by a").unwrap();
+        let mut b = cluster.host(1).open_store("handoff").unwrap();
+        b.acquire().unwrap();
+        assert_eq!(b.put_commit(5, b"committed by b").unwrap(), 2);
+
+        // A re-acquires: the superseded stage is discarded with the stale
+        // handle, the commit is a typed refusal (never a torn committed
+        // object), and the committed bytes stay exact everywhere.
+        a.acquire().unwrap();
+        assert!(matches!(
+            a.commit(5),
+            Err(ClusterError::Pmem(PmemError::ObjectStore(
+                "commit without a staged put"
+            )))
+        ));
+        assert_eq!(a.get(5).unwrap(), b"committed by b");
+        a.verify().unwrap();
+
+        // Re-staging against the refreshed view works.
+        a.put(5, b"epoch-3").unwrap();
+        assert_eq!(a.commit(5).unwrap(), 3);
+        b.acquire().unwrap();
+        assert_eq!(b.get(5).unwrap(), b"epoch-3");
+    }
+
+    #[test]
+    fn classed_get_enforces_coherence_before_opening_the_pool() {
+        let cluster = two_card_cluster(CoherenceMode::SoftwareManaged);
+        let mut a = cluster.host(0).create_store("gate", 16, 64).unwrap();
+        a.put_commit(0, b"v1").unwrap();
+
+        // A never-acquired host is refused before the pool opens: sizing the
+        // admission request must not run undo-log recovery on shared state.
+        let mut b = cluster.host(1).open_store("gate").unwrap();
+        assert!(matches!(
+            b.get_classed(0, 0.0),
+            Err(ClusterError::NotAcquired { host: 1, .. })
+        ));
+        assert!(format!("{b:?}").contains("pool_open: false"));
+        b.acquire().unwrap();
+        assert_eq!(b.get_classed(0, 0.0).unwrap(), b"v1");
     }
 
     #[test]

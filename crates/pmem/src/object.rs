@@ -165,6 +165,10 @@ impl Entry {
 struct Staged {
     len: u64,
     hash: u64,
+    /// Committed epoch the staging observed (0 = none). The staging slot is
+    /// `(basis + 1) % 2`; if another handle commits in between, the slot
+    /// parity flips and this stage can never be committed.
+    basis: u64,
 }
 
 /// Point-in-time health counters from a full directory scan
@@ -351,12 +355,15 @@ impl<'p> ObjectStore<'p> {
         self.value_len
     }
 
-    /// Number of objects currently holding a committed version.
+    /// Number of objects holding a committed version, as observed by this
+    /// handle's last open or mutation (another handle on the same media may
+    /// have committed since; mutations always re-read the durable counter).
     pub fn live(&self) -> u64 {
         self.live
     }
 
-    /// Monotone count of committed directory mutations (commits + deletes).
+    /// Monotone count of committed directory mutations (commits + deletes),
+    /// as observed by this handle's last open or mutation.
     pub fn commit_seq(&self) -> u64 {
         self.commit_seq
     }
@@ -393,6 +400,17 @@ impl<'p> ObjectStore<'p> {
         let mut bytes = [0u8; ENTRY_SIZE as usize];
         self.pool.read(self.entry_off(id), &mut bytes)?;
         Entry::from_bytes(&bytes, id)
+    }
+
+    /// Reads a descriptor counter (`COMMIT_SEQ_AT` / `LIVE_AT`) from media.
+    /// Mutations base their new counter values on this durable truth, not on
+    /// the handle's volatile snapshot — another handle on the same media
+    /// (e.g. another host of a shared segment) may have committed since this
+    /// one was opened.
+    fn desc_counter(&self, at: u64) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.pool.read(self.base + at, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
     }
 
     // ----------------------------------------------------------------- write
@@ -432,6 +450,7 @@ impl<'p> ObjectStore<'p> {
             Staged {
                 len: value.len() as u64,
                 hash: fnv1a(value),
+                basis: epoch,
             },
         );
         Ok(())
@@ -446,9 +465,13 @@ impl<'p> ObjectStore<'p> {
     ///
     /// Issues one `drain()` (making the staged payload durable), then writes
     /// the object's directory entry and the descriptor counters inside one
-    /// undo-log transaction — the per-object commit record. After an error
-    /// the handle's cached counters may be stale; reopen the store (running
-    /// pool recovery) before further writes, as the cluster layer does.
+    /// undo-log transaction — the per-object commit record. The new counter
+    /// values are based on the durable descriptor, not this handle's
+    /// snapshot, and a put staged against a committed epoch that another
+    /// handle has since superseded is refused with a typed error. After an
+    /// error the media may hold a stranded transaction; reopen the store
+    /// (running pool recovery) before further writes, as the cluster layer
+    /// does.
     pub fn commit(&mut self, id: u64) -> Result<u64> {
         self.check_id(id)?;
         let crash = self.crash.take();
@@ -458,7 +481,18 @@ impl<'p> ObjectStore<'p> {
             .copied()
             .ok_or(PmemError::ObjectStore("commit without a staged put"))?;
         let previous = self.read_entry(id)?;
-        let epoch = previous.map_or(0, |e| e.epoch) + 1;
+        let current = previous.map_or(0, |e| e.epoch);
+        if staged.basis != current {
+            // Another handle committed this object after the put: the staged
+            // payload sits in what is now the *committed* slot's twin for a
+            // different epoch parity, so a commit record naming it would
+            // point at stale bytes. The stage can never become valid.
+            self.staged.remove(&id);
+            return Err(PmemError::ObjectStore(
+                "staged put superseded by a newer commit",
+            ));
+        }
+        let epoch = current + 1;
         // The staged payload must be durable before any commit record can
         // name it: one drain for the flushes the put fan-out issued.
         self.pool.drain();
@@ -480,8 +514,8 @@ impl<'p> ObjectStore<'p> {
             _ => {}
         }
         let entry_off = self.entry_off(id);
-        let seq = self.commit_seq + 1;
-        let live = self.live + u64::from(previous.is_none());
+        let seq = self.desc_counter(COMMIT_SEQ_AT)? + 1;
+        let live = self.desc_counter(LIVE_AT)? + u64::from(previous.is_none());
         let result = self.pool.run_tx(|tx| {
             tx.write(entry_off, &entry)?;
             tx.write(self.base + COMMIT_SEQ_AT, &seq.to_le_bytes())?;
@@ -519,8 +553,12 @@ impl<'p> ObjectStore<'p> {
             return Err(PmemError::NoSuchObject(id));
         }
         let entry_off = self.entry_off(id);
-        let seq = self.commit_seq + 1;
-        let live = self.live - 1;
+        let seq = self.desc_counter(COMMIT_SEQ_AT)? + 1;
+        // A desynced counter must surface as a typed error, never wrap.
+        let live = self
+            .desc_counter(LIVE_AT)?
+            .checked_sub(1)
+            .ok_or(PmemError::ObjectStore("descriptor live counter desynced"))?;
         let zeros = [0u8; ENTRY_SIZE as usize];
         self.pool.run_tx(|tx| {
             tx.write(entry_off, &zeros)?;
@@ -584,7 +622,7 @@ impl<'p> ObjectStore<'p> {
                 max_epoch = max_epoch.max(entry.epoch);
             }
         }
-        if live != self.live {
+        if live != self.desc_counter(LIVE_AT)? {
             return Err(PmemError::ObjectStore(
                 "descriptor live counter disagrees with the directory",
             ));
@@ -684,6 +722,63 @@ mod tests {
         let check = store.verify().unwrap();
         assert_eq!(check.live, 1);
         assert_eq!(check.free, 7);
+    }
+
+    #[test]
+    fn stale_staged_put_is_refused_after_a_foreign_commit() {
+        let (pool, _backend) = pool_pair(8, 64);
+        let mut a = ObjectStore::format(&pool, 8, 64).unwrap();
+        let oid = a.oid();
+        a.put_commit(4, b"epoch-1").unwrap();
+
+        // Handle A stages epoch 2; handle B (same media) commits epoch 2
+        // first, claiming the very slot A's stage was written into.
+        a.put(4, b"staged by a").unwrap();
+        let mut b = ObjectStore::open(&pool, oid).unwrap();
+        assert_eq!(b.put_commit(4, b"committed by b").unwrap(), 2);
+
+        // Committing A's stage would name epoch 3 → the slot still holding
+        // the epoch-1 bytes, with A's hash: a permanently torn object. The
+        // basis check refuses with a typed error and drops the stage.
+        assert!(matches!(
+            a.commit(4),
+            Err(PmemError::ObjectStore(
+                "staged put superseded by a newer commit"
+            ))
+        ));
+        assert!(!a.has_staged(4));
+        assert_eq!(a.get(4).unwrap(), b"committed by b");
+        b.verify().unwrap();
+
+        // Re-staging against the refreshed committed epoch works.
+        a.put(4, b"epoch-3").unwrap();
+        assert_eq!(a.commit(4).unwrap(), 3);
+        assert_eq!(b.get(4).unwrap(), b"epoch-3");
+    }
+
+    #[test]
+    fn foreign_commits_keep_descriptor_counters_exact() {
+        let (pool, _backend) = pool_pair(8, 64);
+        let mut a = ObjectStore::format(&pool, 8, 64).unwrap();
+        let oid = a.oid();
+        a.put_commit(0, b"a-0").unwrap();
+
+        // A second handle over the same media commits a new object; handle
+        // A then commits another. Both must extend the durable counters —
+        // basing them on A's stale snapshot would desync the descriptor.
+        let mut b = ObjectStore::open(&pool, oid).unwrap();
+        b.put_commit(1, b"b-1").unwrap();
+        a.put_commit(2, b"a-2").unwrap();
+        assert_eq!(a.verify().unwrap().live, 3);
+        assert_eq!(b.verify().unwrap().live, 3);
+
+        // Delete ping-pong between desynced-snapshot handles stays exact
+        // down to zero — no counter underflow.
+        b.delete(1).unwrap();
+        a.delete(0).unwrap();
+        a.delete(2).unwrap();
+        assert_eq!(a.verify().unwrap().live, 0);
+        assert!(matches!(a.delete(0), Err(PmemError::NoSuchObject(0))));
     }
 
     #[test]

@@ -346,7 +346,11 @@ fn functional_leg(cfg: &ObjectsConfig) -> Result<Functional, ClusterError> {
     for phase in [ObjectPhase::SlotWrite, ObjectPhase::EntryCommit] {
         for point in CrashPoint::ALL {
             let id = 1 + crash_cells as u64; // ids not touched by the delete wave
-            let old_epoch = if id.is_multiple_of(cfg.update_every) { 2 } else { 1 };
+            let old_epoch = if id.is_multiple_of(cfg.update_every) {
+                2
+            } else {
+                1
+            };
             let old = value_bytes(id, old_epoch, cfg.value_len);
             let new = value_bytes(id, 90 + crash_cells as u64, cfg.value_len);
             let crash = ObjectCrash { phase, point };
